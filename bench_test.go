@@ -1,0 +1,343 @@
+// Benchmarks: one testing.B target per table/figure of the paper's
+// evaluation, exercising the code path that experiment measures on a
+// reduced fixed workload. `go run ./cmd/experiments` regenerates the full
+// tables; these benches track regressions of the underlying primitives.
+package motivo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ags"
+	"repro/internal/build"
+	"repro/internal/ccbaseline"
+	"repro/internal/coloring"
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/sample"
+	"repro/internal/table"
+	"repro/internal/treelet"
+)
+
+// benchGraph is the shared small workload: heavy-tailed, ~9k edges.
+func benchGraph() *graph.Graph { return gen.BarabasiAlbert(3000, 3, 1001) }
+
+// hubGraph triggers neighbor buffering.
+func hubGraph() *graph.Graph { return gen.StarHeavy(1, 3000, 200, 1003) }
+
+func buildFor(b *testing.B, g *graph.Graph, k int, zeroRooted bool, workers int) (*coloring.Coloring, *treelet.Catalog, *buildOut) {
+	b.Helper()
+	col := coloring.Uniform(g.NumNodes(), k, 1007)
+	cat := treelet.NewCatalog(k)
+	opts := build.DefaultOptions()
+	opts.ZeroRooted = zeroRooted
+	opts.Workers = workers
+	tab, stats, err := build.Run(g, col, k, cat, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return col, cat, &buildOut{tab, stats}
+}
+
+type buildOut struct {
+	tab   *table.Table
+	stats *build.Stats
+}
+
+// --- Figure 2: check-and-merge, succinct vs pointer treelets ------------
+
+func BenchmarkFig2CheckMergeSuccinct(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1007)
+	cat := treelet.NewCatalog(5)
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		opts := build.DefaultOptions()
+		opts.ZeroRooted = false
+		opts.Workers = 1
+		_, stats, err := build.Run(g, col, 5, cat, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += stats.CheckMergeOps
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/checkmerge")
+}
+
+func BenchmarkFig2CheckMergePointerCC(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1007)
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := ccbaseline.Build(g, col, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += stats.CheckMergeOps
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(ops), "ns/checkmerge")
+}
+
+// --- Figure 3 / §5.1 build table: full build, motivo vs CC --------------
+
+func BenchmarkFig3BuildMotivo(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1009)
+	cat := treelet.NewCatalog(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := build.DefaultOptions()
+		opts.ZeroRooted = false
+		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3BuildCC(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1009)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ccbaseline.Build(g, col, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3BuildMotivoSpill(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1009)
+	cat := treelet.NewCatalog(5)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := build.DefaultOptions()
+		opts.SpillDir = dir
+		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 4: 0-rooting ------------------------------------------------
+
+func BenchmarkFig4ZeroRootingOff(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1013)
+	cat := treelet.NewCatalog(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := build.DefaultOptions()
+		opts.ZeroRooted = false
+		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4ZeroRootingOn(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1013)
+	cat := treelet.NewCatalog(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 5 / §5.1 sampling table: samples/s --------------------------
+
+func benchSampling(b *testing.B, g *graph.Graph, bufferThreshold int) {
+	b.Helper()
+	col, cat, out := buildFor(b, g, 5, true, 0)
+	urn, err := sample.NewUrn(g, col, out.tab, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	urn.BufferThreshold = bufferThreshold
+	rng := rand.New(rand.NewSource(1017))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		urn.Sample(rng)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkFig5SamplingBuffered(b *testing.B)   { benchSampling(b, hubGraph(), 1000) }
+func BenchmarkFig5SamplingUnbuffered(b *testing.B) { benchSampling(b, hubGraph(), 1<<30) }
+
+func BenchmarkTableSamplingMotivo(b *testing.B) { benchSampling(b, benchGraph(), 1000) }
+
+func BenchmarkTableSamplingCC(b *testing.B) {
+	g := benchGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1007)
+	tab, _, err := ccbaseline.Build(g, col, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	smp, err := ccbaseline.NewSampler(g.Neighbors, g.HasEdge, g.Degree, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1017))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.Sample(rng)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// --- Figure 6: biased coloring build ------------------------------------
+
+func BenchmarkFig6BuildUniform(b *testing.B) {
+	g := benchGraph()
+	cat := treelet.NewCatalog(5)
+	col := coloring.Uniform(g.NumNodes(), 5, 1019)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6BuildBiased(b *testing.B) {
+	g := benchGraph()
+	cat := treelet.NewCatalog(5)
+	col := coloring.Biased(g.NumNodes(), 5, 0.12, 1019)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: build scaling in k ---------------------------------------
+
+func BenchmarkFig7Scaling(b *testing.B) {
+	g := benchGraph()
+	for k := 4; k <= 6; k++ {
+		k := k
+		b.Run(string(rune('0'+k))+"k", func(b *testing.B) {
+			col := coloring.Uniform(g.NumNodes(), k, 1021)
+			cat := treelet.NewCatalog(k)
+			b.ResetTimer()
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				_, stats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = stats.TableBytes
+			}
+			b.ReportMetric(float64(bytes)*8/float64(g.NumNodes()), "bits/node")
+		})
+	}
+}
+
+// --- Figures 8–10 / §5.2–5.3: estimator pipelines -----------------------
+
+func BenchmarkFig8NaivePipeline(b *testing.B) {
+	g := benchGraph()
+	col, cat, out := buildFor(b, g, 5, true, 0)
+	urn, err := sample.NewUrn(g, col, out.tab, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := estimate.NewSigma(5)
+	rng := rand.New(rand.NewSource(1023))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tallies := make(map[graphlet.Code]int64)
+		for s := 0; s < 2000; s++ {
+			code, _ := urn.Sample(rng)
+			tallies[code]++
+		}
+		estimate.Naive(tallies, 2000, urn.Total().Float64(), sig, col.PColorful)
+	}
+}
+
+func BenchmarkFig8AGSPipeline(b *testing.B) {
+	g := hubGraph()
+	col, cat, out := buildFor(b, g, 5, true, 0)
+	_ = col
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		urn, err := sample.NewUrn(g, col, out.tab, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = ags.Run(urn, ags.Options{
+			CoverThreshold: 200,
+			Budget:         2000,
+			Rng:            rand.New(rand.NewSource(int64(1031 + i))),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*2000)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// --- Ground truth (ESCAPE stand-in) -------------------------------------
+
+func BenchmarkExactESU(b *testing.B) {
+	g := gen.ErdosRenyi(800, 2400, 1033)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.Count(g, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the succinct primitives ------------------------
+
+func BenchmarkTreeletMergeDecomp(b *testing.B) {
+	cat := treelet.NewCatalog(8)
+	ts := cat.BySize[8]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		tpp, tp := t.Decomp()
+		if treelet.Merge(tp, tpp) != t {
+			b.Fatal("merge/decomp mismatch")
+		}
+	}
+}
+
+func BenchmarkGraphletCanonical(b *testing.B) {
+	rng := rand.New(rand.NewSource(1037))
+	codes := make([]graphlet.Code, 256)
+	for i := range codes {
+		for {
+			c := graphlet.Code{Lo: rng.Uint64() & (1<<15 - 1)} // k=6
+			if graphlet.IsConnected(6, c) {
+				codes[i] = c
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphlet.Canonical(6, codes[i%len(codes)])
+	}
+}
+
+func BenchmarkSpanningTreeShapes(b *testing.B) {
+	cat := treelet.NewCatalog(6)
+	c := graphlet.FromGraph(gen.Complete(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graphlet.SpanningTreeShapes(6, c, cat)
+	}
+}

@@ -1,0 +1,44 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5). Run with no flags for the full suite, or select
+// one experiment:
+//
+//	experiments -exp fig8
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		ids := make([]string, 0, len(experiments.Registry))
+		for id := range experiments.Registry {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "all" {
+		experiments.All(os.Stdout)
+		return
+	}
+	run, ok := experiments.Registry[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(os.Stdout)
+}

@@ -1,0 +1,92 @@
+package motivo_test
+
+import (
+	"fmt"
+	"sort"
+
+	motivo "repro"
+)
+
+// The smallest possible use: exact counts on a toy graph.
+func ExampleExactCount() {
+	// K4: four triangles, nothing else at k=3.
+	g := motivo.Complete(4)
+	counts, err := motivo.ExactCount(g, 3)
+	if err != nil {
+		panic(err)
+	}
+	for code, n := range counts {
+		fmt.Printf("%s: %.0f\n", motivo.Describe(3, code), n)
+	}
+	// Output:
+	// 3-clique: 4
+}
+
+// Converting induced counts to non-induced (subgraph) counts.
+func ExampleNonInducedCounts() {
+	g := motivo.Complete(5)
+	induced, err := motivo.ExactCount(g, 4)
+	if err != nil {
+		panic(err)
+	}
+	ni := motivo.NonInducedCounts(induced, 4, motivo.EnumerateGraphlets(4))
+	type row struct {
+		name string
+		n    float64
+	}
+	var rows []row
+	for code, n := range ni {
+		rows = append(rows, row{motivo.Describe(4, code), n})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		fmt.Printf("%s: %.0f\n", r.name, r.n)
+	}
+	// Output:
+	// 4-clique: 5
+	// 4-cycle: 15
+	// 4-path: 60
+	// 4-star: 20
+	// 4v/4e deg[3,2,2,1] g35: 60
+	// 4v/5e deg[3,3,2,2] g3e: 30
+}
+
+// Describing graphlet codes in human-readable form.
+func ExampleDescribe() {
+	cases := []*motivo.Graph{
+		motivo.Complete(5), motivo.StarGraph(5), motivo.PathGraph(5), motivo.CycleGraph(5),
+	}
+	for _, g := range cases {
+		counts, err := motivo.ExactCount(g, 5)
+		if err != nil {
+			panic(err)
+		}
+		for code := range counts {
+			fmt.Println(motivo.Describe(5, code))
+		}
+	}
+	// Output:
+	// 5-clique
+	// 5-star
+	// 5-path
+	// 5-cycle
+}
+
+// Estimating graphlet counts with the full pipeline. (No Output comment:
+// estimates are random variables; see examples/quickstart for a runnable
+// program.)
+func ExampleCount() {
+	g := motivo.BarabasiAlbert(5000, 3, 42)
+	res, err := motivo.Count(g, motivo.Options{
+		K:        5,
+		Samples:  100000,
+		Strategy: motivo.AGS,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range res.Top(3) {
+		_ = e.Count // estimated induced occurrences
+	}
+}

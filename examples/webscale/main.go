@@ -1,0 +1,50 @@
+// Webscale: the big-graph configuration of the paper scaled to a laptop —
+// a heavy-tailed graph with hundreds of thousands of edges, counted at
+// k=6 with biased coloring (Section 3.4) and greedy flushing of the table
+// through disk (Section 3.1), the two levers motivo uses to reach
+// billion-edge graphs on 64 GB machines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	motivo "repro"
+)
+
+func main() {
+	g := motivo.BarabasiAlbert(100000, 4, 99)
+	fmt.Printf("graph: %d nodes, %d edges, max degree %d\n",
+		g.NumNodes(), g.NumEdges(), g.MaxDegree())
+
+	const k = 6
+	for _, cfg := range []struct {
+		name   string
+		lambda float64
+	}{
+		{"uniform coloring", 0},
+		{"biased coloring λ=0.08", 0.08},
+	} {
+		res, err := motivo.Count(g, motivo.Options{
+			K:       k,
+			Samples: 50000,
+			Lambda:  cfg.lambda,
+			Spill:   true, // greedy flushing through temp files
+			Seed:    17,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[%s]\n", cfg.name)
+		fmt.Printf("  build %v, sampling %v, table %.1f MiB, %d samples\n",
+			res.BuildTime.Round(1e6), res.SampleTime.Round(1e6),
+			float64(res.TableBytes)/(1<<20), res.Samples)
+		fmt.Printf("  distinct %d-graphlets observed: %d\n", k, len(res.Counts))
+		for i, e := range res.Top(5) {
+			fmt.Printf("  %d. %-24s %12.4g copies (%6.3f%%)\n",
+				i+1, motivo.Describe(k, e.Code), e.Count, 100*e.Frequency)
+		}
+	}
+	fmt.Println("\nBiased coloring shrinks the count table (fewer colorful copies")
+	fmt.Println("survive) at a bounded accuracy cost — compare the table sizes above.")
+}

@@ -1,0 +1,182 @@
+// Package ags implements Adaptive Graphlet Sampling (paper, Section 4),
+// the online greedy fractional-set-cover sampling strategy that breaks the
+// additive 1/s approximation barrier of naive sampling.
+//
+// AGS samples through the per-shape urns sample(T). While a shape T_j is
+// active, every graphlet H_i accrues weight σ_ij/r_j per draw — the
+// probability that one sample(T_j) call spans a copy of H_i, divided by
+// g_i. When a graphlet has been seen c̄ times it is "covered", and AGS
+// switches to the shape T_j* minimizing the probability of hitting covered
+// graphlets again (line 14 of the pseudocode):
+//
+//	j* = argmin_j (1/r_j) Σ_{i∈C} σ_ij · ĝ_i,  ĝ_i = c_i/w_i.
+//
+// The returned estimate for every graphlet — covered or not — is c_i/w_i,
+// an unbiased (martingale) estimator of its colorful count g_i; Theorem 4
+// gives the (1±ε) multiplicative guarantee.
+//
+// The weights w_i are maintained lazily: with n_j draws made while shape j
+// was active, w_i = Σ_j n_j σ_ij / r_j, which equals the pseudocode's
+// incremental updates but costs nothing for graphlets not yet observed.
+package ags
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/estimate"
+	"repro/internal/graphlet"
+	"repro/internal/sample"
+	"repro/internal/treelet"
+)
+
+// Options configures an AGS run.
+type Options struct {
+	// CoverThreshold is c̄, the number of occurrences after which a
+	// graphlet counts as covered. The paper's experiments use 1000.
+	CoverThreshold int
+	// Budget is the total number of samples to draw.
+	Budget int
+	// Rng drives all sampling; required.
+	Rng *rand.Rand
+}
+
+// DefaultOptions mirror the paper's experimental settings.
+func DefaultOptions(budget int, rng *rand.Rand) Options {
+	return Options{CoverThreshold: 1000, Budget: budget, Rng: rng}
+}
+
+// Result carries the outcome of an AGS run.
+type Result struct {
+	// Estimates maps each observed graphlet to its estimated number of
+	// induced occurrences in G (colorful estimate divided by p_k).
+	Estimates estimate.Counts
+	// ColorfulEstimates is c_i/w_i, the estimate of colorful copies.
+	ColorfulEstimates estimate.Counts
+	// Tallies is c_i, the raw occurrence counts.
+	Tallies map[graphlet.Code]int64
+	// Samples is the number of draws made; Switches how many times the
+	// active shape changed; Covered how many graphlets reached c̄.
+	Samples  int
+	Switches int
+	Covered  int
+}
+
+// Run executes AGS on the urn.
+func Run(urn *sample.Urn, opts Options) (*Result, error) {
+	if opts.Rng == nil {
+		return nil, fmt.Errorf("ags: Options.Rng is required")
+	}
+	if opts.CoverThreshold < 1 {
+		return nil, fmt.Errorf("ags: CoverThreshold must be ≥ 1, got %d", opts.CoverThreshold)
+	}
+	if urn.Empty() {
+		return nil, fmt.Errorf("ags: urn is empty")
+	}
+	cat := urn.Cat
+	k := urn.K
+
+	// Shapes with at least one colorful occurrence, in deterministic order.
+	totals := urn.Tab.ShapeTotals(cat)
+	var shapes []treelet.Treelet
+	for _, s := range cat.UnrootedK {
+		if !totals[s].IsZero() {
+			shapes = append(shapes, s)
+		}
+	}
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("ags: no k-treelet shape has colorful occurrences")
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i] < shapes[j] })
+
+	urns := make(map[treelet.Treelet]*sample.ShapeUrn, len(shapes))
+	rj := make(map[treelet.Treelet]float64, len(shapes))
+	for _, s := range shapes {
+		su, err := urn.NewShapeUrn(s)
+		if err != nil {
+			return nil, err
+		}
+		urns[s] = su
+		rj[s] = su.Total().Float64()
+	}
+
+	// Initial shape: the one with the most colorful occurrences
+	// (Section 4: "Initially, we choose the k-treelet T with the largest
+	// number of colorful occurrences").
+	cur := shapes[0]
+	for _, s := range shapes {
+		if rj[s] > rj[cur] {
+			cur = s
+		}
+	}
+
+	sigmaShapes := estimate.NewSigmaShapes(k, cat)
+	nj := make(map[treelet.Treelet]int64, len(shapes))
+	tallies := make(map[graphlet.Code]int64)
+	covered := make(map[graphlet.Code]bool)
+
+	// wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j.
+	wi := func(code graphlet.Code) float64 {
+		row := sigmaShapes.Of(code)
+		var w float64
+		for s, n := range nj {
+			if n == 0 {
+				continue
+			}
+			if sig, ok := row[s]; ok {
+				w += float64(n) * float64(sig) / rj[s]
+			}
+		}
+		return w
+	}
+
+	res := &Result{Tallies: tallies}
+	for step := 0; step < opts.Budget; step++ {
+		nj[cur]++ // weight update precedes the draw (pseudocode lines 7–9)
+		code, _ := urns[cur].Sample(opts.Rng)
+		tallies[code]++
+		if int(tallies[code]) == opts.CoverThreshold && !covered[code] {
+			covered[code] = true
+			res.Covered++
+			// Switch to the shape least likely to span covered graphlets.
+			next := cur
+			best := 0.0
+			for i, s := range shapes {
+				var mass float64
+				for c := range covered {
+					if sig, ok := sigmaShapes.Of(c)[s]; ok {
+						w := wi(c)
+						if w > 0 {
+							mass += float64(sig) * float64(tallies[c]) / w
+						}
+					}
+				}
+				score := mass / rj[s]
+				if i == 0 || score < best {
+					best = score
+					next = s
+				}
+			}
+			if next != cur {
+				res.Switches++
+				cur = next
+			}
+		}
+		res.Samples++
+	}
+
+	res.ColorfulEstimates = make(estimate.Counts, len(tallies))
+	res.Estimates = make(estimate.Counts, len(tallies))
+	pk := urn.Col.PColorful
+	for code, c := range tallies {
+		w := wi(code)
+		if w == 0 {
+			continue
+		}
+		colorful := float64(c) / w
+		res.ColorfulEstimates[code] = colorful
+		res.Estimates[code] = colorful / pk
+	}
+	return res, nil
+}

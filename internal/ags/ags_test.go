@@ -1,0 +1,180 @@
+package ags
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/coloring"
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/sample"
+	"repro/internal/treelet"
+)
+
+func buildUrn(t *testing.T, g *graph.Graph, k int, seed int64) *sample.Urn {
+	t.Helper()
+	col := coloring.Uniform(g.NumNodes(), k, seed)
+	cat := treelet.NewCatalog(k)
+	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := sample.NewUrn(g, col, tab, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestOptionsValidation(t *testing.T) {
+	u := buildUrn(t, gen.ErdosRenyi(20, 50, 1), 4, 2)
+	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 1}); err == nil {
+		t.Error("missing rng must fail")
+	}
+	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Error("zero threshold must fail")
+	}
+}
+
+func TestAGSEstimatesMatchExact(t *testing.T) {
+	g := gen.ErdosRenyi(30, 90, 3)
+	k := 4
+	truth, err := exact.Count(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := make(estimate.Counts)
+	const runs = 12
+	for r := 0; r < runs; r++ {
+		u := buildUrn(t, g, k, int64(300+r))
+		opts := Options{CoverThreshold: 300, Budget: 30000, Rng: rand.New(rand.NewSource(int64(400 + r)))}
+		res, err := Run(u, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Samples != opts.Budget {
+			t.Fatalf("samples=%d, want %d", res.Samples, opts.Budget)
+		}
+		for c, v := range res.Estimates {
+			sum[c] += v / runs
+		}
+	}
+	// Only graphlets with enough expected colorful copies per coloring
+	// (p_k·g ≳ 30) are testable at tight tolerance; rarer ones are
+	// dominated by coloring variance (Theorem 3's bound is vacuous there).
+	pk := coloring.PUniform(k)
+	for code, want := range truth {
+		if pk*want < 30 {
+			continue
+		}
+		got := sum[code]
+		if math.Abs(got-want)/want > 0.2 {
+			t.Errorf("graphlet %v: AGS estimate %.1f, exact %.0f", code, got, want)
+		}
+	}
+	if l1 := estimate.L1(sum, truth); l1 > 0.12 {
+		t.Errorf("ℓ1 error %.3f too large", l1)
+	}
+}
+
+// TestAGSFindsRareGraphlets is the core adaptive claim (Section 5.3): on a
+// star-dominated graph, naive sampling sees (almost) only the star, while
+// AGS with the same budget covers the star quickly, switches shape, and
+// tallies rare graphlets.
+func TestAGSFindsRareGraphlets(t *testing.T) {
+	g := gen.StarHeavy(1, 400, 25, 5)
+	k := 5
+	u := buildUrn(t, g, k, 7)
+
+	// Naive sampling baseline.
+	rng := rand.New(rand.NewSource(11))
+	naive := make(map[graphlet.Code]int64)
+	const budget = 20000
+	for i := 0; i < budget; i++ {
+		code, _ := u.Sample(rng)
+		naive[code]++
+	}
+
+	// AGS with the same budget on a fresh urn state.
+	u2, err := sample.NewUrn(u.G, u.Col, u.Tab, u.Cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(u2, Options{CoverThreshold: 500, Budget: budget, Rng: rand.New(rand.NewSource(13))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches == 0 {
+		t.Error("AGS never switched shapes on a star-dominated graph")
+	}
+	// AGS must observe strictly more distinct graphlets with solid tallies.
+	solid := func(m map[graphlet.Code]int64) int {
+		n := 0
+		for _, c := range m {
+			if c >= 10 {
+				n++
+			}
+		}
+		return n
+	}
+	if solid(res.Tallies) <= solid(naive) {
+		t.Errorf("AGS solid graphlets %d not above naive %d", solid(res.Tallies), solid(naive))
+	}
+}
+
+func TestAGSStarEstimateAccurate(t *testing.T) {
+	// The k-star count on StarHeavy(1, L, 0) is exactly C(L, k-1).
+	L := 200
+	g := gen.StarHeavy(1, L, 0, 17)
+	k := 4
+	want := float64(L*(L-1)*(L-2)) / 6
+	sum := 0.0
+	const runs = 6
+	star := graphlet.Canonical(k, graphlet.FromEdges(k, [][2]int{{0, 1}, {0, 2}, {0, 3}}))
+	for r := 0; r < runs; r++ {
+		u := buildUrn(t, g, k, int64(500+r))
+		res, err := Run(u, Options{CoverThreshold: 200, Budget: 4000, Rng: rand.New(rand.NewSource(int64(600 + r)))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += res.Estimates[star] / runs
+	}
+	if math.Abs(sum-want)/want > 0.2 {
+		t.Errorf("star estimate %.0f, exact %.0f", sum, want)
+	}
+}
+
+func TestAGSCoverageBookkeeping(t *testing.T) {
+	g := gen.ErdosRenyi(25, 70, 19)
+	k := 4
+	u := buildUrn(t, g, k, 23)
+	res, err := Run(u, Options{CoverThreshold: 50, Budget: 5000, Rng: rand.New(rand.NewSource(29))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	var total int64
+	for _, c := range res.Tallies {
+		if c >= 50 {
+			covered++
+		}
+		total += c
+	}
+	if covered != res.Covered {
+		t.Errorf("Covered=%d, tallies say %d", res.Covered, covered)
+	}
+	if total != int64(res.Samples) {
+		t.Errorf("tallies sum %d != samples %d", total, res.Samples)
+	}
+	// Every tallied graphlet must carry an estimate.
+	for code := range res.Tallies {
+		if res.Estimates[code] <= 0 {
+			t.Errorf("graphlet %v has tally but estimate %v", code, res.Estimates[code])
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package alias implements Vose's alias method for O(1) sampling from a
+// fixed categorical distribution (Vose 1991, cited as [24] in the paper).
+//
+// Motivo uses an alias table to draw the root node v with probability
+// proportional to the number of colorful k-treelets rooted at v
+// (paper, Section 3.3, "Alias method sampling"). Building the table is
+// linear in the support; each draw costs one uniform variate and one
+// comparison.
+package alias
+
+import "math/rand"
+
+// Table is an immutable alias table over n categories.
+type Table struct {
+	prob  []float64 // acceptance probability of the home category
+	alias []int32   // fallback category
+}
+
+// New builds an alias table from non-negative weights. Weights need not be
+// normalized. It returns nil if all weights are zero or the slice is empty.
+func New(weights []float64) *Table {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	t := &Table{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scale weights so the average is 1, then split into small/large piles.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Numerical leftovers are all probability-1 home draws.
+	for _, i := range large {
+		t.prob[i] = 1
+	}
+	for _, i := range small {
+		t.prob[i] = 1
+	}
+	return t
+}
+
+// Len returns the number of categories.
+func (t *Table) Len() int { return len(t.prob) }
+
+// Next draws one category index.
+func (t *Table) Next(rng *rand.Rand) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}

@@ -1,0 +1,88 @@
+package alias
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyAndZero(t *testing.T) {
+	if New(nil) != nil {
+		t.Error("nil weights should give nil table")
+	}
+	if New([]float64{0, 0, 0}) != nil {
+		t.Error("all-zero weights should give nil table")
+	}
+}
+
+func TestSingleCategory(t *testing.T) {
+	tab := New([]float64{3.5})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if tab.Next(rng) != 0 {
+			t.Fatal("single category must always be drawn")
+		}
+	}
+}
+
+func TestDistributionMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 4, 2, 0.5, 0, 2.5}
+	tab := New(weights)
+	if tab.Len() != len(weights) {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	rng := rand.New(rand.NewSource(42))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Next(rng)]++
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		got := float64(counts[i]) / draws
+		want := w / total
+		if w == 0 {
+			if counts[i] != 0 {
+				t.Errorf("zero-weight category %d drawn %d times", i, counts[i])
+			}
+			continue
+		}
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("category %d: got frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+}
+
+func TestNegativeWeightsTreatedAsZero(t *testing.T) {
+	tab := New([]float64{-5, 1})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		if tab.Next(rng) == 0 {
+			t.Fatal("negative-weight category drawn")
+		}
+	}
+}
+
+func TestSkewedWeights(t *testing.T) {
+	// One huge and many tiny weights — the regime the root sampler sees on
+	// hub-dominated graphs.
+	weights := make([]float64, 1000)
+	weights[0] = 1e9
+	for i := 1; i < 1000; i++ {
+		weights[i] = 1
+	}
+	tab := New(weights)
+	rng := rand.New(rand.NewSource(3))
+	zero := 0
+	for i := 0; i < 100000; i++ {
+		if tab.Next(rng) == 0 {
+			zero++
+		}
+	}
+	if zero < 99900 {
+		t.Errorf("hub drawn only %d/100000 times", zero)
+	}
+}

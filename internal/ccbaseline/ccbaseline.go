@@ -1,0 +1,207 @@
+// Package ccbaseline is a faithful port of CC, the color-coding algorithm
+// of Bressan et al. (WSDM'17 / TKDD'18) that motivo improves upon. The
+// paper (Section 3) ports CC to C++ and then swaps its components one by
+// one to quantify each optimization; this package plays the "original"
+// side of those comparisons (Figures 2 and 3, and the §5.1 tables):
+//
+//   - every rooted treelet has a unique *representative instance*, a
+//     pointer-based tree structure; the pointer is its identity;
+//   - the treelet count table is one hash table per node mapping
+//     (instance pointer, color set) to a 64-bit count (CC's counters
+//     overflow on large inputs — one reason motivo uses 128 bits);
+//   - the check-and-merge operation walks the pointer structures
+//     recursively (no succinct encoding);
+//   - the sampling phase has no sorted records, no alias table and no
+//     neighbor buffering: treelet draws scan the node's hash table and
+//     child choices sweep neighbor hash tables.
+package ccbaseline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/treelet"
+)
+
+// Inst is the representative instance of a rooted (uncolored) treelet:
+// a classic pointer-based tree. Children are kept in canonical
+// (non-decreasing) order so decomposition takes the first child, exactly
+// mirroring the succinct encoding's semantics.
+type Inst struct {
+	Children []*Inst
+	Size     int
+}
+
+// Registry interns instances so that each treelet shape has exactly one
+// representative and pointer equality is shape equality.
+type Registry struct {
+	leaf *Inst
+	m    map[string]*Inst
+}
+
+// NewRegistry creates an empty interning registry.
+func NewRegistry() *Registry {
+	return &Registry{leaf: &Inst{Size: 1}, m: make(map[string]*Inst)}
+}
+
+// Leaf returns the single-node treelet instance.
+func (r *Registry) Leaf() *Inst { return r.leaf }
+
+// Merge interns the treelet obtained by prepending tpp as the first child
+// of tp's root.
+func (r *Registry) Merge(tp, tpp *Inst) *Inst {
+	children := make([]*Inst, 0, len(tp.Children)+1)
+	children = append(children, tpp)
+	children = append(children, tp.Children...)
+	key := childKey(children)
+	if in, ok := r.m[key]; ok {
+		return in
+	}
+	in := &Inst{Children: children, Size: tp.Size + tpp.Size}
+	r.m[key] = in
+	return in
+}
+
+// childKey derives an interning key from the (already interned) children.
+func childKey(children []*Inst) string {
+	b := make([]byte, 0, len(children)*8)
+	for _, c := range children {
+		b = append(b, []byte(fmt.Sprintf("%p,", c))...)
+	}
+	return string(b)
+}
+
+// Compare orders two instances structurally, recursively — the expensive
+// pointer-chasing comparison CC performs inside every check-and-merge
+// (succinct treelets replace this with one integer compare).
+func Compare(a, b *Inst) int {
+	if a == b {
+		return 0
+	}
+	// Mirror the succinct order: the DFS parenthesis string compared
+	// lexicographically. A leaf's string is empty, so a leaf precedes
+	// everything else.
+	la, lb := len(a.Children), len(b.Children)
+	for i := 0; i < la && i < lb; i++ {
+		if c := Compare(a.Children[i], b.Children[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case la < lb:
+		return -1
+	case la > lb:
+		return +1
+	}
+	return 0
+}
+
+// CheckMerge reports whether tpp may be attached as a new first child of
+// tp while keeping the canonical child order (the "T” comes before the
+// smallest subtree of T'" test).
+func CheckMerge(tp, tpp *Inst) bool {
+	if len(tp.Children) == 0 {
+		return true
+	}
+	return Compare(tpp, tp.Children[0]) <= 0
+}
+
+// Beta returns βT: the multiplicity of the first child among the root's
+// children (pointer equality thanks to interning).
+func Beta(t *Inst) int {
+	b := 1
+	for i := 1; i < len(t.Children) && t.Children[i] == t.Children[0]; i++ {
+		b++
+	}
+	return b
+}
+
+// key is a colored treelet entry in a node's hash table.
+type key struct {
+	T      *Inst
+	Colors treelet.ColorSet
+}
+
+// Table is CC's count table: one hash table per node per size.
+type Table struct {
+	K    int
+	N    int
+	Recs [][]map[key]uint64 // Recs[h][v]
+	Reg  *Registry
+}
+
+// Stats mirrors build.Stats for the baseline.
+type Stats struct {
+	Duration      time.Duration
+	CheckMergeOps int64
+	Pairs         int64
+	// BytesEstimate approximates CC's memory: ≥ 128 bits per pair (64-bit
+	// pointer key + 64-bit count) plus hash-table overhead (we charge the
+	// conventional 2x found in sparse hash maps).
+	BytesEstimate int64
+}
+
+// Build runs CC's build-up phase (single-threaded, no 0-rooting — CC
+// counts every rooting of every copy).
+func Build(g *graph.Graph, col *coloring.Coloring, k int) (*Table, *Stats, error) {
+	if col.K != k {
+		return nil, nil, fmt.Errorf("ccbaseline: coloring has %d colors, want %d", col.K, k)
+	}
+	n := g.NumNodes()
+	if len(col.Colors) != n {
+		return nil, nil, fmt.Errorf("ccbaseline: coloring covers %d nodes, graph has %d", len(col.Colors), n)
+	}
+	start := time.Now()
+	reg := NewRegistry()
+	tab := &Table{K: k, N: n, Recs: make([][]map[key]uint64, k+1), Reg: reg}
+	for h := 1; h <= k; h++ {
+		tab.Recs[h] = make([]map[key]uint64, n)
+	}
+	for v := 0; v < n; v++ {
+		tab.Recs[1][v] = map[key]uint64{{reg.Leaf(), treelet.Singleton(col.Colors[v])}: 1}
+	}
+	var ops int64
+	for h := 2; h <= k; h++ {
+		for v := int32(0); int(v) < n; v++ {
+			acc := make(map[key]uint64)
+			for hpp := 1; hpp < h; hpp++ {
+				rv := tab.Recs[h-hpp][v]
+				if len(rv) == 0 {
+					continue
+				}
+				for _, u := range g.Neighbors(v) {
+					ru := tab.Recs[hpp][u]
+					for kpp, cu := range ru {
+						for kp, cv := range rv {
+							ops++
+							if !kp.Colors.Disjoint(kpp.Colors) {
+								continue
+							}
+							if !CheckMerge(kp.T, kpp.T) {
+								continue
+							}
+							merged := key{reg.Merge(kp.T, kpp.T), kp.Colors | kpp.Colors}
+							acc[merged] += cv * cu // 64-bit: may overflow, as in CC
+						}
+					}
+				}
+			}
+			for kk, c := range acc {
+				if b := uint64(Beta(kk.T)); b > 1 {
+					acc[kk] = c / b
+				}
+			}
+			tab.Recs[h][v] = acc
+		}
+	}
+	st := &Stats{Duration: time.Since(start), CheckMergeOps: ops}
+	for h := 1; h <= k; h++ {
+		for v := 0; v < n; v++ {
+			st.Pairs += int64(len(tab.Recs[h][v]))
+		}
+	}
+	st.BytesEstimate = st.Pairs * 16 * 2
+	return tab, st, nil
+}

@@ -1,0 +1,175 @@
+package ccbaseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/coloring"
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+func TestCompareMatchesSuccinctOrder(t *testing.T) {
+	// Build every treelet up to size 6 in both representations and check
+	// the recursive pointer comparison agrees with the integer order of
+	// the succinct codes.
+	cat := treelet.NewCatalog(6)
+	reg := NewRegistry()
+	insts := make(map[treelet.Treelet]*Inst)
+	insts[treelet.Leaf] = reg.Leaf()
+	for s := 2; s <= 6; s++ {
+		for _, tr := range cat.BySize[s] {
+			tpp, tp := tr.Decomp()
+			insts[tr] = reg.Merge(insts[tp], insts[tpp])
+		}
+	}
+	var all []treelet.Treelet
+	for s := 1; s <= 6; s++ {
+		all = append(all, cat.BySize[s]...)
+	}
+	for _, a := range all {
+		for _, b := range all {
+			want := 0
+			if a < b {
+				want = -1
+			} else if a > b {
+				want = 1
+			}
+			if got := Compare(insts[a], insts[b]); got != want {
+				t.Fatalf("Compare(%v,%v) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	// Interning: codes must round-trip.
+	for tr, in := range insts {
+		if CodeOf(in) != tr {
+			t.Fatalf("CodeOf mismatch for %v", tr)
+		}
+	}
+}
+
+func TestCCTableMatchesMotivoTable(t *testing.T) {
+	// CC (no 0-rooting) and motivo's build with ZeroRooted=false must
+	// produce identical counts for every (node, colored treelet).
+	g := gen.ErdosRenyi(25, 70, 3)
+	k := 4
+	col := coloring.Uniform(g.NumNodes(), k, 5)
+	cat := treelet.NewCatalog(k)
+
+	ccTab, ccStats, err := Build(g, col, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := build.DefaultOptions()
+	opts.ZeroRooted = false
+	moTab, moStats, err := build.Run(g, col, k, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ccStats.Pairs != moStats.Pairs {
+		t.Fatalf("pair counts differ: CC %d, motivo %d", ccStats.Pairs, moStats.Pairs)
+	}
+	for h := 1; h <= k; h++ {
+		for v := 0; v < g.NumNodes(); v++ {
+			rec := moTab.Rec(h, int32(v))
+			ccRec := ccTab.Recs[h][v]
+			if rec.Len() != len(ccRec) {
+				t.Fatalf("h=%d v=%d: motivo %d keys, CC %d", h, v, rec.Len(), len(ccRec))
+			}
+			for kk, c := range ccRec {
+				code := CodeOf(kk.T)
+				want := rec.Count(treelet.MakeColored(code, kk.Colors))
+				if want != u128.From64(c) {
+					t.Fatalf("h=%d v=%d treelet %v colors %04b: CC %d, motivo %v", h, v, code, kk.Colors, c, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCCSamplerEstimates(t *testing.T) {
+	g := gen.ErdosRenyi(25, 70, 7)
+	k := 4
+	truth, err := exact.Count(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := estimate.NewSigma(k)
+	sum := make(estimate.Counts)
+	const runs = 8
+	const S = 20000
+	for r := 0; r < runs; r++ {
+		col := coloring.Uniform(g.NumNodes(), k, int64(100+r))
+		tab, _, err := Build(g, col, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smp, err := NewSampler(g.Neighbors, g.HasEdge, g.Degree, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(200 + r)))
+		tallies := make(map[graphlet.Code]int64)
+		for i := 0; i < S; i++ {
+			code, nodes := smp.Sample(rng)
+			if len(nodes) != k {
+				t.Fatal("wrong sample size")
+			}
+			tallies[code]++
+		}
+		est := estimate.Naive(tallies, S, smp.Total()/float64(k), sig, col.PColorful)
+		for c, v := range est {
+			sum[c] += v / runs
+		}
+	}
+	pk := coloring.PUniform(k)
+	for code, want := range truth {
+		if pk*want < 30 {
+			continue
+		}
+		if math.Abs(sum[code]-want)/want > 0.2 {
+			t.Errorf("graphlet %v: CC estimate %.1f, exact %.0f", code, sum[code], want)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, _, err := Build(g, coloring.Uniform(4, 3, 1), 4); err == nil {
+		t.Error("k mismatch must fail")
+	}
+	if _, _, err := Build(g, coloring.Uniform(3, 3, 1), 3); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestEmptySamplerErrors(t *testing.T) {
+	g, err := graph.Build(2, []graph.Edge{{U: 0, V: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := coloring.Uniform(2, 3, 1)
+	tab, _, err := Build(g, col, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSampler(g.Neighbors, g.HasEdge, g.Degree, tab); err == nil {
+		t.Error("expected empty-urn error")
+	}
+}
+
+func TestBetaPointer(t *testing.T) {
+	reg := NewRegistry()
+	leaf := reg.Leaf()
+	star3 := reg.Merge(reg.Merge(leaf, leaf), leaf)
+	if Beta(star3) != 2 {
+		t.Errorf("star3 beta = %d", Beta(star3))
+	}
+}

@@ -1,0 +1,178 @@
+package ccbaseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+)
+
+// CodeOf converts a representative instance to its succinct code — used
+// only by tests and experiments to cross-validate the two implementations,
+// never by CC's own hot paths.
+func CodeOf(in *Inst) treelet.Treelet {
+	t := treelet.Leaf
+	for i := len(in.Children) - 1; i >= 0; i-- {
+		t = treelet.Merge(t, CodeOf(in.Children[i]))
+	}
+	return t
+}
+
+// Sampler implements CC's sampling phase: root selection by binary search
+// on a cumulative array (no alias method), treelet selection by scanning
+// the root's hash table, child selection by sweeping neighbor hash tables
+// (no shape-sorted records, no buffering), and canonicalization without
+// memoization. Motivo's speedups over this are the §5.1 sampling-speed
+// table.
+type Sampler struct {
+	g     *graphWrap
+	tab   *Table
+	cum   []float64
+	roots []int32
+	total float64
+}
+
+// graphWrap avoids an import cycle hiccup: the sampler only needs
+// neighbor lists and edge queries.
+type graphWrap struct {
+	neighbors func(int32) []int32
+	hasEdge   func(int32, int32) bool
+	degree    func(int32) int
+}
+
+// NewSampler prepares CC's sampling phase over a built table.
+func NewSampler(neighbors func(int32) []int32, hasEdge func(int32, int32) bool, degree func(int32) int, tab *Table) (*Sampler, error) {
+	s := &Sampler{
+		g:   &graphWrap{neighbors: neighbors, hasEdge: hasEdge, degree: degree},
+		tab: tab,
+	}
+	for v := 0; v < tab.N; v++ {
+		var eta float64
+		for _, c := range tab.Recs[tab.K][v] {
+			eta += float64(c)
+		}
+		if eta > 0 {
+			s.total += eta
+			s.roots = append(s.roots, int32(v))
+			s.cum = append(s.cum, s.total)
+		}
+	}
+	if s.total == 0 {
+		return nil, fmt.Errorf("ccbaseline: empty urn")
+	}
+	return s, nil
+}
+
+// Total returns the number of rooted colorful k-treelet entries (CC counts
+// each copy at all k rootings; divide by k for distinct copies).
+func (s *Sampler) Total() float64 { return s.total }
+
+// Sample draws one uniform colorful k-treelet copy and returns the
+// canonical induced graphlet code and the nodes.
+func (s *Sampler) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
+	r := rng.Float64() * s.total
+	i := sort.SearchFloat64s(s.cum, r)
+	if i == len(s.cum) {
+		i--
+	}
+	v := s.roots[i]
+	// Treelet selection: scan the hash table accumulating counts (CC has
+	// no sorted cumulative record).
+	rec := s.tab.Recs[s.tab.K][v]
+	var eta float64
+	for _, c := range rec {
+		eta += float64(c)
+	}
+	target := rng.Float64() * eta
+	var chosen key
+	var acc float64
+	for kk, c := range rec {
+		acc += float64(c)
+		chosen = kk
+		if acc > target {
+			break
+		}
+	}
+	nodes := make([]int32, 0, s.tab.K)
+	s.sampleCopy(v, chosen, rng, &nodes)
+	return s.induced(nodes), nodes
+}
+
+func (s *Sampler) sampleCopy(v int32, kk key, rng *rand.Rand, out *[]int32) {
+	if kk.T.Size == 1 {
+		*out = append(*out, v)
+		return
+	}
+	tpp := kk.T.Children[0]
+	tp := s.tab.Reg.rest(kk.T)
+	hpp := tpp.Size
+	hp := kk.T.Size - hpp
+	rv := s.tab.Recs[hp][v]
+
+	type cand struct {
+		u   int32
+		cpp key
+	}
+	var cands []cand
+	var cum []float64
+	total := 0.0
+	for _, w := range s.g.neighbors(v) {
+		for kpp, cu := range s.tab.Recs[hpp][w] {
+			if kpp.T != tpp {
+				continue
+			}
+			if kpp.Colors&kk.Colors != kpp.Colors {
+				continue
+			}
+			cv, ok := rv[key{tp, kk.Colors &^ kpp.Colors}]
+			if !ok {
+				continue
+			}
+			total += float64(cv) * float64(cu)
+			cands = append(cands, cand{w, kpp})
+			cum = append(cum, total)
+		}
+	}
+	if len(cands) == 0 {
+		panic("ccbaseline: no child choice (corrupt table?)")
+	}
+	r := rng.Float64() * total
+	i := sort.SearchFloat64s(cum, r)
+	if i == len(cum) {
+		i--
+	}
+	ch := cands[i]
+	s.sampleCopy(v, key{tp, kk.Colors &^ ch.cpp.Colors}, rng, out)
+	s.sampleCopy(ch.u, ch.cpp, rng, out)
+}
+
+// induced canonicalizes without memoization (CC calls Nauty every time).
+func (s *Sampler) induced(nodes []int32) graphlet.Code {
+	k := len(nodes)
+	var edges [][2]int
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if s.g.hasEdge(nodes[i], nodes[j]) {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graphlet.Canonical(k, graphlet.FromEdges(k, edges))
+}
+
+// rest interns the treelet left over when the first child is detached.
+func (r *Registry) rest(t *Inst) *Inst {
+	if len(t.Children) == 1 {
+		return r.leaf
+	}
+	children := t.Children[1:]
+	ck := childKey(children)
+	if in, ok := r.m[ck]; ok {
+		return in
+	}
+	in := &Inst{Children: children, Size: t.Size - t.Children[0].Size}
+	r.m[ck] = in
+	return in
+}

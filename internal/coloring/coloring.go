@@ -1,0 +1,93 @@
+// Package coloring assigns the k colors of the color-coding technique to
+// host-graph nodes.
+//
+// Section 2.1 of the paper: each node independently receives a uniform color
+// in [k]; a graphlet copy survives ("becomes colorful") with probability
+// p_k = k!/k^k. Section 3.4 introduces biased coloring: colors 1..k-1 get a
+// small probability λ each and color k absorbs the rest, which shrinks the
+// count table at a quantified accuracy cost (Eq. 3).
+//
+// Color 0 plays a special role: 0-rooting (Section 3.2) stores size-k
+// treelets only at their unique color-0 node.
+package coloring
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Coloring maps each node to a color in [0, K).
+type Coloring struct {
+	K      int
+	Colors []uint8
+	// PColorful is the probability that a fixed set of K nodes receives K
+	// distinct colors under the distribution that generated this coloring.
+	PColorful float64
+}
+
+// Uniform colors n nodes independently and uniformly with k colors.
+func Uniform(n, k int, seed int64) *Coloring {
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("coloring: k=%d out of range [1,16]", k))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Coloring{K: k, Colors: make([]uint8, n), PColorful: PUniform(k)}
+	for i := range c.Colors {
+		c.Colors[i] = uint8(rng.Intn(k))
+	}
+	return c
+}
+
+// Biased colors n nodes with the biased distribution of Section 3.4:
+// colors 0..k-2 have probability λ each and color k-1 has probability
+// 1-(k-1)λ. λ must satisfy 0 < λ ≤ 1/k... values near 1/k recover the
+// uniform distribution.
+func Biased(n, k int, lambda float64, seed int64) *Coloring {
+	if k < 2 || k > 16 {
+		panic(fmt.Sprintf("coloring: k=%d out of range [2,16]", k))
+	}
+	if lambda <= 0 || lambda*float64(k-1) >= 1 {
+		panic(fmt.Sprintf("coloring: lambda=%g out of range (0, 1/(k-1))", lambda))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Coloring{K: k, Colors: make([]uint8, n), PColorful: PBiased(k, lambda)}
+	threshold := lambda * float64(k-1)
+	for i := range c.Colors {
+		u := rng.Float64()
+		if u < threshold {
+			c.Colors[i] = uint8(u / lambda)
+		} else {
+			c.Colors[i] = uint8(k - 1)
+		}
+	}
+	return c
+}
+
+// PUniform returns p_k = k!/k^k, the probability that k fixed nodes get
+// pairwise distinct colors under the uniform coloring.
+func PUniform(k int) float64 {
+	p := 1.0
+	for i := 1; i <= k; i++ {
+		p *= float64(i) / float64(k)
+	}
+	return p
+}
+
+// PBiased returns the colorful probability under the biased distribution:
+// k! · λ^(k-1) · (1-(k-1)λ) — each of the k! assignments of the k distinct
+// colors to the k nodes has the same product of marginals.
+func PBiased(k int, lambda float64) float64 {
+	return factorial(k) * math.Pow(lambda, float64(k-1)) * (1 - float64(k-1)*lambda)
+}
+
+func factorial(k int) float64 {
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// Of returns the color of node v.
+func (c *Coloring) Of(v int32) uint8 { return c.Colors[v] }

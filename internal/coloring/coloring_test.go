@@ -1,0 +1,99 @@
+package coloring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPUniform(t *testing.T) {
+	cases := map[int]float64{
+		1: 1,
+		2: 0.5,
+		3: 6.0 / 27.0,
+		5: 120.0 / 3125.0,
+	}
+	for k, want := range cases {
+		if got := PUniform(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("PUniform(%d)=%g want %g", k, got, want)
+		}
+	}
+}
+
+func TestPBiasedRecoversUniformAtOneOverK(t *testing.T) {
+	for k := 2; k <= 9; k++ {
+		lam := 1.0 / float64(k)
+		if got, want := PBiased(k, lam), PUniform(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("k=%d: PBiased(1/k)=%g want %g", k, got, want)
+		}
+	}
+}
+
+func TestUniformColoringDistribution(t *testing.T) {
+	const n, k = 100000, 5
+	c := Uniform(n, k, 11)
+	if len(c.Colors) != n || c.K != k {
+		t.Fatal("wrong shape")
+	}
+	counts := make([]int, k)
+	for _, col := range c.Colors {
+		if int(col) >= k {
+			t.Fatalf("color %d out of range", col)
+		}
+		counts[col]++
+	}
+	for col, cnt := range counts {
+		frac := float64(cnt) / n
+		if math.Abs(frac-1.0/k) > 0.01 {
+			t.Errorf("color %d frequency %.4f, want %.4f", col, frac, 1.0/k)
+		}
+	}
+}
+
+func TestBiasedColoringDistribution(t *testing.T) {
+	const n, k = 200000, 6
+	lambda := 0.05
+	c := Biased(n, k, lambda, 13)
+	counts := make([]int, k)
+	for _, col := range c.Colors {
+		counts[col]++
+	}
+	for col := 0; col < k-1; col++ {
+		frac := float64(counts[col]) / n
+		if math.Abs(frac-lambda) > 0.005 {
+			t.Errorf("biased color %d frequency %.4f, want %.4f", col, frac, lambda)
+		}
+	}
+	last := float64(counts[k-1]) / n
+	want := 1 - float64(k-1)*lambda
+	if math.Abs(last-want) > 0.005 {
+		t.Errorf("absorbing color frequency %.4f, want %.4f", last, want)
+	}
+	if c.PColorful <= 0 || c.PColorful >= PUniform(k) {
+		t.Errorf("biased PColorful %g should be positive and below uniform %g", c.PColorful, PUniform(k))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Uniform(1000, 7, 99)
+	b := Uniform(1000, 7, 99)
+	for i := range a.Colors {
+		if a.Colors[i] != b.Colors[i] {
+			t.Fatal("same seed must give same coloring")
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("k too big", func() { Uniform(10, 17, 1) })
+	mustPanic("k zero", func() { Uniform(10, 0, 1) })
+	mustPanic("lambda too big", func() { Biased(10, 5, 0.3, 1) })
+	mustPanic("lambda zero", func() { Biased(10, 5, 0, 1) })
+}

@@ -1,0 +1,29 @@
+package coloring
+
+import "math"
+
+// ChooseLambda operationalizes the λ-selection heuristic of Section 3.4:
+// "Start with λ = 1/(b(k−1)n) for some appropriate b > 1 … Grow λ
+// progressively until a small but non-negligible fraction of counts are
+// positive."
+//
+// probe(λ) must report the fraction of positive counts the caller observes
+// under a biased coloring with that λ (e.g. the fraction of nodes with a
+// non-empty small-treelet record from a cheap partial build). ChooseLambda
+// grows λ geometrically from the paper's starting point until probe
+// reaches target, and never exceeds 1/k (where biased coloring degenerates
+// to uniform).
+func ChooseLambda(n, k int, b float64, target float64, probe func(lambda float64) float64) float64 {
+	if b <= 1 {
+		b = 2
+	}
+	lambda := 1 / (b * float64(k-1) * float64(n))
+	max := 1 / float64(k)
+	for lambda < max {
+		if probe(lambda) >= target {
+			return lambda
+		}
+		lambda *= 1.6
+	}
+	return math.Min(lambda, max*0.999)
+}

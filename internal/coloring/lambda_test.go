@@ -1,0 +1,54 @@
+package coloring
+
+import "testing"
+
+func TestChooseLambdaStopsAtTarget(t *testing.T) {
+	// Probe that saturates once λ crosses 0.01.
+	probe := func(lambda float64) float64 {
+		if lambda >= 0.01 {
+			return 0.5
+		}
+		return 0
+	}
+	lam := ChooseLambda(100000, 5, 2, 0.1, probe)
+	if lam < 0.01 || lam >= 0.016+1e-12 {
+		t.Errorf("λ = %v, want the first geometric step ≥ 0.01", lam)
+	}
+}
+
+func TestChooseLambdaCapsAtUniform(t *testing.T) {
+	// A probe that never reaches the target: λ must cap below 1/k.
+	lam := ChooseLambda(1000, 5, 2, 0.9, func(float64) float64 { return 0 })
+	if lam >= 0.2 {
+		t.Errorf("λ = %v must stay below 1/k", lam)
+	}
+	// The result must still be a valid Biased parameter.
+	Biased(10, 5, lam, 1)
+}
+
+func TestChooseLambdaStartsAtPaperValue(t *testing.T) {
+	var first float64
+	ChooseLambda(1000, 5, 2, 0.1, func(l float64) float64 {
+		if first == 0 {
+			first = l
+		}
+		return 1 // stop immediately
+	})
+	want := 1 / (2.0 * 4 * 1000)
+	if first != want {
+		t.Errorf("starting λ = %v, want %v", first, want)
+	}
+}
+
+func TestChooseLambdaDefaultsB(t *testing.T) {
+	var first float64
+	ChooseLambda(1000, 5, 0.5 /* invalid b */, 0.1, func(l float64) float64 {
+		if first == 0 {
+			first = l
+		}
+		return 1
+	})
+	if first != 1/(2.0*4*1000) {
+		t.Errorf("invalid b should default to 2, got starting λ %v", first)
+	}
+}

@@ -1,0 +1,221 @@
+// Package core orchestrates the full motivo pipeline: coloring, build-up
+// phase, sampling phase (naive or AGS), estimation, and averaging over
+// independent colorings (the paper averages over γ colorings to drive the
+// failure probability down exponentially, Section 2.2).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ags"
+	"repro/internal/build"
+	"repro/internal/coloring"
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/sample"
+	"repro/internal/treelet"
+)
+
+// Strategy selects the sampling algorithm.
+type Strategy int
+
+const (
+	// Naive is CC-style uniform treelet sampling (Section 2.2) on top of
+	// motivo's fast urn — the paper's "naive sampling" arm.
+	Naive Strategy = iota
+	// AGS is adaptive graphlet sampling (Section 4).
+	AGS
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Naive:
+		return "naive"
+	case AGS:
+		return "ags"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Config parameterizes a counting run.
+type Config struct {
+	// K is the graphlet size (2 ≤ K ≤ treelet.MaxK).
+	K int
+	// Colorings is γ, the number of independent colorings to average over
+	// (≥ 1).
+	Colorings int
+	// SamplesPerColoring is the per-coloring sampling budget.
+	SamplesPerColoring int
+	// Strategy selects naive sampling or AGS.
+	Strategy Strategy
+	// CoverThreshold is AGS's c̄ (defaults to 1000 when 0).
+	CoverThreshold int
+	// BiasedLambda, when > 0, enables biased coloring with this λ
+	// (Section 3.4); 0 means uniform coloring.
+	BiasedLambda float64
+	// Seed makes the whole run reproducible.
+	Seed int64
+	// Workers for the build-up phase; 0 = GOMAXPROCS.
+	Workers int
+	// SampleWorkers parallelizes naive sampling across urn clones
+	// ("samples are by definition independent and are taken by different
+	// threads", Section 3.3). ≤ 1 samples sequentially. AGS is inherently
+	// sequential (the shape switch depends on the sample history) and
+	// ignores this.
+	SampleWorkers int
+	// Spill enables greedy flushing of the count table to temp files.
+	Spill bool
+	// BufferThreshold overrides the neighbor-buffering degree threshold
+	// (0 keeps the paper's default of 10^4).
+	BufferThreshold int
+}
+
+// Result aggregates the estimates of a run.
+type Result struct {
+	// Counts estimates the number of induced occurrences per graphlet.
+	Counts estimate.Counts
+	// Frequencies is Counts normalized to sum to 1.
+	Frequencies estimate.Counts
+	// Samples is the total number of samples taken across colorings.
+	Samples int
+	// BuildTime and SampleTime aggregate phase durations across colorings.
+	BuildTime  time.Duration
+	SampleTime time.Duration
+	// BuildStats holds the per-coloring build statistics.
+	BuildStats []*build.Stats
+	// TableBytes is the compact count-table payload of the last coloring.
+	TableBytes int64
+	// Covered is the number of AGS-covered graphlets (last coloring).
+	Covered int
+}
+
+// Count runs the motivo pipeline on g.
+func Count(g *graph.Graph, cfg Config) (*Result, error) {
+	if cfg.K < 2 || cfg.K > treelet.MaxK {
+		return nil, fmt.Errorf("core: K=%d out of range [2,%d]", cfg.K, treelet.MaxK)
+	}
+	if cfg.Colorings < 1 {
+		return nil, fmt.Errorf("core: Colorings must be ≥ 1, got %d", cfg.Colorings)
+	}
+	if cfg.SamplesPerColoring < 1 {
+		return nil, fmt.Errorf("core: SamplesPerColoring must be ≥ 1, got %d", cfg.SamplesPerColoring)
+	}
+	cover := cfg.CoverThreshold
+	if cover == 0 {
+		cover = 1000
+	}
+	cat := treelet.NewCatalog(cfg.K)
+	res := &Result{Counts: make(estimate.Counts)}
+	sig := estimate.NewSigma(cfg.K)
+
+	for run := 0; run < cfg.Colorings; run++ {
+		seed := cfg.Seed + int64(run)*7919
+		var col *coloring.Coloring
+		if cfg.BiasedLambda > 0 {
+			col = coloring.Biased(g.NumNodes(), cfg.K, cfg.BiasedLambda, seed)
+		} else {
+			col = coloring.Uniform(g.NumNodes(), cfg.K, seed)
+		}
+		opts := build.DefaultOptions()
+		opts.Workers = cfg.Workers
+		opts.Spill = cfg.Spill
+		tab, stats, err := build.Run(g, col, cfg.K, cat, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.BuildTime += stats.Duration
+		res.BuildStats = append(res.BuildStats, stats)
+		res.TableBytes = stats.TableBytes
+
+		urn, err := sample.NewUrn(g, col, tab, cat)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.BufferThreshold > 0 {
+			urn.BufferThreshold = cfg.BufferThreshold
+		}
+		if urn.Empty() {
+			// An unlucky coloring of a tiny graph: contributes a zero
+			// estimate for every graphlet, which is what the estimator
+			// semantics prescribe.
+			continue
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+		sampleStart := time.Now()
+		var est estimate.Counts
+		switch cfg.Strategy {
+		case Naive:
+			tallies := naiveTallies(urn, cfg.SamplesPerColoring, cfg.SampleWorkers, rng)
+			est = estimate.Naive(tallies, int64(cfg.SamplesPerColoring), urn.Total().Float64(), sig, col.PColorful)
+			res.Samples += cfg.SamplesPerColoring
+		case AGS:
+			out, err := ags.Run(urn, ags.Options{
+				CoverThreshold: cover,
+				Budget:         cfg.SamplesPerColoring,
+				Rng:            rng,
+			})
+			if err != nil {
+				return nil, err
+			}
+			est = out.Estimates
+			res.Samples += out.Samples
+			res.Covered = out.Covered
+		default:
+			return nil, fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
+		}
+		res.SampleTime += time.Since(sampleStart)
+		for code, v := range est {
+			res.Counts[code] += v / float64(cfg.Colorings)
+		}
+	}
+	res.Frequencies = estimate.Frequencies(res.Counts)
+	return res, nil
+}
+
+// naiveTallies draws `budget` samples, optionally in parallel over urn
+// clones (one clone and one derived rng per worker, so results are
+// deterministic for a fixed seed and worker count).
+func naiveTallies(urn *sample.Urn, budget, workers int, rng *rand.Rand) map[graphlet.Code]int64 {
+	tallies := make(map[graphlet.Code]int64)
+	if workers <= 1 {
+		for i := 0; i < budget; i++ {
+			code, _ := urn.Sample(rng)
+			tallies[code]++
+		}
+		return tallies
+	}
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	per := budget / workers
+	for w := 0; w < workers; w++ {
+		n := per
+		if w == workers-1 {
+			n = budget - per*(workers-1)
+		}
+		seed := rng.Int63()
+		wg.Add(1)
+		go func(n int, seed int64) {
+			defer wg.Done()
+			clone := urn.Clone()
+			local := make(map[graphlet.Code]int64)
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < n; i++ {
+				code, _ := clone.Sample(r)
+				local[code]++
+			}
+			mu.Lock()
+			for c, v := range local {
+				tallies[c] += v
+			}
+			mu.Unlock()
+		}(n, seed)
+	}
+	wg.Wait()
+	return tallies
+}

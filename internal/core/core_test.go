@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestValidation(t *testing.T) {
+	g := gen.Path(5)
+	cases := []Config{
+		{K: 1, Colorings: 1, SamplesPerColoring: 10},
+		{K: 20, Colorings: 1, SamplesPerColoring: 10},
+		{K: 3, Colorings: 0, SamplesPerColoring: 10},
+		{K: 3, Colorings: 1, SamplesPerColoring: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Count(g, cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Unknown strategy: use a graph large enough that the urn is
+	// non-empty, otherwise the coloring is skipped before the strategy
+	// dispatch.
+	big := gen.ErdosRenyi(100, 300, 1)
+	if _, err := Count(big, Config{K: 3, Colorings: 1, SamplesPerColoring: 10, Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Naive.String() != "naive" || AGS.String() != "ags" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(7).String() == "" {
+		t.Error("unknown strategy should still format")
+	}
+}
+
+func TestNaiveAndAGSAgreeWithExact(t *testing.T) {
+	g := gen.ErdosRenyi(60, 180, 3)
+	truth, err := exact.Count(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{Naive, AGS} {
+		res, err := Count(g, Config{
+			K: 4, Colorings: 6, SamplesPerColoring: 20000,
+			Strategy: strat, CoverThreshold: 400, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l1 := estimate.L1(res.Counts, truth); l1 > 0.12 {
+			t.Errorf("%v: ℓ1 = %.3f", strat, l1)
+		}
+		if res.Samples != 6*20000 {
+			t.Errorf("%v: samples = %d", strat, res.Samples)
+		}
+		if res.BuildTime <= 0 || res.SampleTime <= 0 || len(res.BuildStats) != 6 {
+			t.Errorf("%v: stats incomplete", strat)
+		}
+		var fsum float64
+		for _, f := range res.Frequencies {
+			fsum += f
+		}
+		if math.Abs(fsum-1) > 1e-9 {
+			t.Errorf("%v: frequencies sum to %v", strat, fsum)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g := gen.BarabasiAlbert(150, 3, 7)
+	cfg := Config{K: 4, Colorings: 2, SamplesPerColoring: 3000, Seed: 11}
+	a, err := Count(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Count(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Counts) != len(b.Counts) {
+		t.Fatal("support differs between identical runs")
+	}
+	for c, v := range a.Counts {
+		if b.Counts[c] != v {
+			t.Fatalf("estimate for %v differs: %v vs %v", c, v, b.Counts[c])
+		}
+	}
+}
+
+func TestBiasedColoringPath(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 3, 13)
+	res, err := Count(g, Config{
+		K: 4, Colorings: 3, SamplesPerColoring: 10000,
+		BiasedLambda: 0.15, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) == 0 {
+		t.Fatal("biased run produced nothing")
+	}
+}
+
+func TestTinyGraphEmptyColorings(t *testing.T) {
+	// On a 4-node graph with k=4, many colorings leave the urn empty;
+	// Count must survive and still average the lucky ones.
+	g := gen.Complete(4)
+	res, err := Count(g, Config{K: 4, Colorings: 30, SamplesPerColoring: 100, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only graphlet is K4 with exact count 1; colorful probability is
+	// 4!/4^4 ≈ 0.094, so ~3 of 30 colorings contribute 1/p_k ≈ 10.67 each
+	// and the average should be within a factor ~3 of 1 (loose check: it
+	// must at least be finite and non-negative).
+	for _, v := range res.Counts {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bad estimate %v", v)
+		}
+	}
+}
+
+func TestParallelSamplingMatchesSequential(t *testing.T) {
+	g := gen.ErdosRenyi(60, 180, 31)
+	truth, err := exact.Count(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Count(g, Config{
+		K: 4, Colorings: 4, SamplesPerColoring: 20000,
+		SampleWorkers: 4, Seed: 37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 := estimate.L1(par.Counts, truth); l1 > 0.12 {
+		t.Errorf("parallel sampling ℓ1 = %.3f", l1)
+	}
+	// Deterministic for fixed seed and worker count.
+	par2, err := Count(g, Config{
+		K: 4, Colorings: 4, SamplesPerColoring: 20000,
+		SampleWorkers: 4, Seed: 37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range par.Counts {
+		if par2.Counts[c] != v {
+			t.Fatalf("parallel run not deterministic for %v", c)
+		}
+	}
+}
+
+func TestSpillPath(t *testing.T) {
+	g := gen.ErdosRenyi(80, 240, 23)
+	res, err := Count(g, Config{K: 4, Colorings: 1, SamplesPerColoring: 2000, Spill: true, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) == 0 {
+		t.Fatal("spill run produced nothing")
+	}
+}

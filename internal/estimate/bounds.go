@@ -1,0 +1,48 @@
+package estimate
+
+import "math"
+
+// TheoremThreeBound evaluates the multiplicative concentration bound of
+// Theorem 3 of the paper:
+//
+//	Pr[|ĝ_i − g_i| > ε·g_i] < 2·exp(−(ε²/2) · p_k·g_i / ((k−1)!·Δ^(k−2)))
+//
+// where p_k is the colorful probability, g_i the (estimated) number of
+// copies of the graphlet, and Δ the maximum degree of the host graph. It
+// returns the probability bound (clamped to 1). Callers use it to decide
+// whether a coloring-induced estimate for a graphlet is trustworthy, and
+// the biased-coloring λ selection uses it through BiasedAccuracyLoss.
+func TheoremThreeBound(eps float64, k int, pColorful, gi float64, maxDegree int) float64 {
+	if eps <= 0 || gi <= 0 || k < 2 {
+		return 1
+	}
+	den := factorial(k-1) * math.Pow(float64(maxDegree), float64(k-2))
+	exponent := eps * eps / 2 * pColorful * gi / den
+	b := 2 * math.Exp(-exponent)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// BiasedAccuracyLoss compares the Theorem 3 exponents under uniform and
+// biased coloring: it returns the ratio p_biased/p_uniform, i.e. the factor
+// by which the concentration exponent shrinks when using biased coloring
+// with parameter λ (Section 3.4: "the accuracy loss remains negligible as
+// long as λ^(k−1)·n/Δ^(k−2) is large").
+func BiasedAccuracyLoss(k int, lambda float64) float64 {
+	pu := 1.0
+	for i := 1; i <= k; i++ {
+		pu *= float64(i) / float64(k)
+	}
+	pb := factorial(k) * math.Pow(lambda, float64(k-1)) * (1 - float64(k-1)*lambda)
+	return pb / pu
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

@@ -1,0 +1,59 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTheoremThreeBoundBehaviour(t *testing.T) {
+	// Pick a regime where the bound is informative (< 1):
+	// k=5, Δ=10 → (k−1)!·Δ^(k−2) = 24·1000.
+	b1 := TheoremThreeBound(0.1, 5, 0.038, 3e9, 10)
+	if b1 >= 1 {
+		t.Fatalf("reference bound not informative: %v", b1)
+	}
+	// More copies → tighter bound.
+	b2 := TheoremThreeBound(0.1, 5, 0.038, 3e10, 10)
+	if !(b2 < b1) {
+		t.Errorf("bound should tighten with g_i: %v vs %v", b1, b2)
+	}
+	// Larger ε → tighter bound.
+	b3 := TheoremThreeBound(0.5, 5, 0.038, 3e9, 10)
+	if !(b3 < b1) {
+		t.Errorf("bound should tighten with ε: %v vs %v", b1, b3)
+	}
+	// Larger max degree → weaker bound.
+	b4 := TheoremThreeBound(0.1, 5, 0.038, 3e9, 20)
+	if !(b4 > b1) {
+		t.Errorf("bound should weaken with Δ: %v vs %v", b1, b4)
+	}
+	// Degenerate inputs clamp to 1.
+	if TheoremThreeBound(0, 5, 0.038, 1e6, 100) != 1 {
+		t.Error("ε=0 must give the trivial bound")
+	}
+	if TheoremThreeBound(0.1, 5, 0.038, 0, 100) != 1 {
+		t.Error("g=0 must give the trivial bound")
+	}
+	// Never exceeds 1.
+	if b := TheoremThreeBound(1e-9, 8, 1e-4, 1, 1e6); b > 1 {
+		t.Errorf("bound %v > 1", b)
+	}
+}
+
+func TestBiasedAccuracyLoss(t *testing.T) {
+	// At λ = 1/k the biased distribution is uniform: loss factor 1.
+	for k := 3; k <= 8; k++ {
+		if got := BiasedAccuracyLoss(k, 1/float64(k)); math.Abs(got-1) > 1e-9 {
+			t.Errorf("k=%d: loss at uniform λ = %v, want 1", k, got)
+		}
+	}
+	// Smaller λ → smaller colorful probability → loss < 1, monotone.
+	prev := 1.0
+	for _, lam := range []float64{0.18, 0.12, 0.06, 0.02} {
+		got := BiasedAccuracyLoss(5, lam)
+		if got >= prev {
+			t.Errorf("loss not decreasing at λ=%v: %v >= %v", lam, got, prev)
+		}
+		prev = got
+	}
+}

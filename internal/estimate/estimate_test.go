@@ -1,0 +1,155 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+)
+
+func code(k int, edges [][2]int) graphlet.Code {
+	return graphlet.Canonical(k, graphlet.FromEdges(k, edges))
+}
+
+var (
+	tri   = code(3, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	wedge = code(3, [][2]int{{0, 1}, {1, 2}})
+)
+
+func TestSigmaCaches(t *testing.T) {
+	s := NewSigma(3)
+	if s.Of(tri) != 3 {
+		t.Errorf("σ(triangle) = %d", s.Of(tri))
+	}
+	if s.Of(wedge) != 1 {
+		t.Errorf("σ(wedge) = %d", s.Of(wedge))
+	}
+	// Second call hits the cache (same value).
+	if s.Of(tri) != 3 {
+		t.Error("cache changed the value")
+	}
+}
+
+func TestSigmaShapes(t *testing.T) {
+	cat := treelet.NewCatalog(4)
+	s := NewSigmaShapes(4, cat)
+	k4 := code(4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	row := s.Of(k4)
+	var sum int64
+	for _, n := range row {
+		sum += n
+	}
+	if sum != 16 {
+		t.Errorf("Σσ_ij(K4) = %d, want 16", sum)
+	}
+}
+
+func TestNaiveEstimator(t *testing.T) {
+	// 60 of 100 samples are triangles, t=300 colorful treelets, p_k=0.5:
+	// colorful triangles = (300/3)·0.6 = 60; estimate = 120.
+	tallies := map[graphlet.Code]int64{tri: 60, wedge: 40}
+	sig := NewSigma(3)
+	est := Naive(tallies, 100, 300, sig, 0.5)
+	if math.Abs(est[tri]-120) > 1e-9 {
+		t.Errorf("triangle estimate %v, want 120", est[tri])
+	}
+	// wedges: (300/1)·0.4/0.5 = 240.
+	if math.Abs(est[wedge]-240) > 1e-9 {
+		t.Errorf("wedge estimate %v, want 240", est[wedge])
+	}
+	if len(Naive(tallies, 0, 300, sig, 0.5)) != 0 {
+		t.Error("zero samples must give empty estimates")
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	f := Frequencies(Counts{tri: 30, wedge: 70})
+	if math.Abs(f[tri]-0.3) > 1e-12 || math.Abs(f[wedge]-0.7) > 1e-12 {
+		t.Errorf("frequencies %v", f)
+	}
+	if len(Frequencies(Counts{})) != 0 {
+		t.Error("empty counts must give empty frequencies")
+	}
+	if len(Frequencies(Counts{tri: 0})) != 0 {
+		t.Error("all-zero counts must give empty frequencies")
+	}
+}
+
+func TestL1(t *testing.T) {
+	truth := Counts{tri: 50, wedge: 50}
+	if l1 := L1(truth, truth); l1 != 0 {
+		t.Errorf("L1(x,x) = %v", l1)
+	}
+	// est misses the wedge entirely: |1-0.5| + |0-0.5| = 1.
+	if l1 := L1(Counts{tri: 10}, truth); math.Abs(l1-1) > 1e-12 {
+		t.Errorf("L1 = %v, want 1", l1)
+	}
+	// est has mass on a graphlet truth lacks: that mass counts fully.
+	extra := code(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	est := Counts{tri: 25, wedge: 25, extra: 50}
+	// frequencies: est = (.25,.25,.5), truth = (.5,.5,0) → ℓ1 = 1.
+	if l1 := L1(est, truth); math.Abs(l1-1) > 1e-12 {
+		t.Errorf("L1 with extra graphlet = %v, want 1", l1)
+	}
+}
+
+func TestErrH(t *testing.T) {
+	truth := Counts{tri: 100, wedge: 200}
+	est := Counts{tri: 150} // wedge missed
+	errs := ErrH(est, truth)
+	if math.Abs(errs[tri]-0.5) > 1e-12 {
+		t.Errorf("err triangle %v", errs[tri])
+	}
+	if math.Abs(errs[wedge]-(-1)) > 1e-12 {
+		t.Errorf("err wedge %v, want -1 (missed)", errs[wedge])
+	}
+}
+
+func TestAccurateWithin(t *testing.T) {
+	truth := Counts{tri: 100, wedge: 200}
+	est := Counts{tri: 130, wedge: 350} // +30%, +75%
+	within, total := AccurateWithin(est, truth, 0.5)
+	if within != 1 || total != 2 {
+		t.Errorf("within=%d total=%d", within, total)
+	}
+}
+
+func TestL2Norm(t *testing.T) {
+	// Uniform over 4 graphlets: ℓ2 = 1/2. Fully skewed: ℓ2 = 1.
+	u := Counts{}
+	for i, g := range gen4codes() {
+		u[g] = 25
+		_ = i
+	}
+	if got := L2Norm(u); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("uniform ℓ2 = %v", got)
+	}
+	if got := L2Norm(Counts{tri: 100}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("point-mass ℓ2 = %v", got)
+	}
+}
+
+// gen4codes returns 4 distinct canonical codes.
+func gen4codes() []graphlet.Code {
+	return []graphlet.Code{
+		code(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}),
+		code(4, [][2]int{{0, 1}, {0, 2}, {0, 3}}),
+		code(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}),
+		graphlet.Canonical(4, graphlet.FromGraph(gen.Complete(4))),
+	}
+}
+
+func TestRarestFound(t *testing.T) {
+	truth := Counts{tri: 999000, wedge: 1000}
+	tallies := map[graphlet.Code]int64{tri: 500, wedge: 12}
+	freq, ok := RarestFound(tallies, truth, 10)
+	if !ok || math.Abs(freq-0.001) > 1e-9 {
+		t.Errorf("rarest = %v ok=%v", freq, ok)
+	}
+	// Below the min-sample filter nothing qualifies.
+	if _, ok := RarestFound(map[graphlet.Code]int64{tri: 5}, truth, 10); ok {
+		t.Error("expected no qualifying graphlet")
+	}
+}

@@ -1,0 +1,42 @@
+package estimate
+
+import "repro/internal/graphlet"
+
+// NonInduced converts induced occurrence counts into non-induced
+// (subgraph) occurrence counts:
+//
+//	noninduced(H) = Σ_{H'} mult(H, H') · induced(H')
+//
+// where mult is the number of spanning subgraphs of H' isomorphic to H
+// (Section 1 of the paper: non-induced counts "can be derived from the
+// induced ones").
+//
+// support lists the canonical graphlet codes H to evaluate; a graphlet can
+// have non-induced copies without any induced occurrence (every 4-subset
+// of a clique contains paths but induces only K4), so the support cannot
+// be inferred from counts. Pass graphlet.Enumerate(k) for all graphlets
+// (k ≤ 7), or nil to default to the keys of counts.
+func NonInduced(counts Counts, k int, support []graphlet.Code) Counts {
+	if support == nil {
+		support = make([]graphlet.Code, 0, len(counts))
+		for c := range counts {
+			support = append(support, c)
+		}
+	}
+	out := make(Counts, len(support))
+	for _, h := range support {
+		var total float64
+		for target, ind := range counts {
+			if ind == 0 {
+				continue
+			}
+			if m := graphlet.SubgraphMultiplicity(k, h, target); m > 0 {
+				total += float64(m) * ind
+			}
+		}
+		if total > 0 {
+			out[h] = total
+		}
+	}
+	return out
+}

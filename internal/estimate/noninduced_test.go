@@ -1,0 +1,126 @@
+package estimate_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+)
+
+// bruteNonInduced counts non-induced (subgraph) copies of each k-graphlet
+// by enumerating all k-subsets and, within each, all spanning subgraphs.
+func bruteNonInduced(g *graph.Graph, k int) estimate.Counts {
+	out := make(estimate.Counts)
+	n := g.NumNodes()
+	nodes := make([]int32, 0, k)
+	var rec func(start int32)
+	rec = func(start int32) {
+		if len(nodes) == k {
+			var edges [][2]int
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if g.HasEdge(nodes[i], nodes[j]) {
+						edges = append(edges, [2]int{i, j})
+					}
+				}
+			}
+			// Enumerate all edge subsets that keep the k nodes connected
+			// (spanning subgraphs).
+			for mask := 0; mask < 1<<len(edges); mask++ {
+				var sel [][2]int
+				for b, e := range edges {
+					if mask&(1<<b) != 0 {
+						sel = append(sel, e)
+					}
+				}
+				c := graphlet.FromEdges(k, sel)
+				if graphlet.IsConnected(k, c) {
+					out[graphlet.Canonical(k, c)]++
+				}
+			}
+			return
+		}
+		for v := start; int(v) < n; v++ {
+			nodes = append(nodes, v)
+			rec(v + 1)
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func TestNonInducedMatchesBruteForce(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.ErdosRenyi(10, 20, 7),
+		gen.Complete(6),
+		gen.Star(8),
+		gen.Lollipop(5, 3),
+	}
+	for gi, g := range graphs {
+		for k := 3; k <= 4; k++ {
+			induced, err := exact.Count(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := estimate.NonInduced(induced, k, graphlet.Enumerate(k))
+			want := bruteNonInduced(g, k)
+			// NonInduced only has support where induced counts exist —
+			// which covers every graphlet with ≥1 non-induced copy only
+			// if it also appears induced OR as subgraph of one that does;
+			// compare on the union.
+			for code, w := range want {
+				if math.Abs(got[code]-w) > 1e-6 {
+					t.Errorf("graph %d k=%d %v: got %v, want %v", gi, k, code, got[code], w)
+				}
+			}
+			for code, v := range got {
+				if math.Abs(v-want[code]) > 1e-6 {
+					t.Errorf("graph %d k=%d %v: got %v, brute %v", gi, k, code, v, want[code])
+				}
+			}
+		}
+	}
+}
+
+func TestNonInducedKnownFormulas(t *testing.T) {
+	// In K5: non-induced P4 count = 5·4·3·2/2 = 60; non-induced 4-cycles
+	// = C(5,4)·3 = 15; non-induced K4 = C(5,4) = 5.
+	g := gen.Complete(5)
+	induced, err := exact.Count(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni := estimate.NonInduced(induced, 4, graphlet.Enumerate(4))
+	p4 := graphlet.Canonical(4, graphlet.FromGraph(gen.Path(4)))
+	c4 := graphlet.Canonical(4, graphlet.FromGraph(gen.Cycle(4)))
+	k4 := graphlet.Canonical(4, graphlet.FromGraph(gen.Complete(4)))
+	star := graphlet.Canonical(4, graphlet.FromGraph(gen.Star(4)))
+	if ni[p4] != 60 {
+		t.Errorf("paths: %v, want 60", ni[p4])
+	}
+	if ni[c4] != 15 {
+		t.Errorf("cycles: %v, want 15", ni[c4])
+	}
+	if ni[k4] != 5 {
+		t.Errorf("cliques: %v, want 5", ni[k4])
+	}
+	// Stars K_{1,3} in K5: choose center (5) × choose 3 leaves C(4,3) = 20.
+	if ni[star] != 20 {
+		t.Errorf("stars: %v, want 20", ni[star])
+	}
+	// Triangles are their own induced form in any graph.
+	ind3, err := exact.Count(gen.ErdosRenyi(20, 60, 3), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ni3 := estimate.NonInduced(ind3, 3, nil)
+	tri := graphlet.Canonical(3, graphlet.FromGraph(gen.Complete(3)))
+	if ni3[tri] != ind3[tri] {
+		t.Errorf("non-induced triangles %v != induced %v", ni3[tri], ind3[tri])
+	}
+}

@@ -1,0 +1,121 @@
+// Package exact counts induced k-graphlets exactly by enumerating every
+// connected induced k-subgraph once with the ESU algorithm (Wernicke 2006).
+//
+// The paper uses ESCAPE [19] for exact 5-graphlet ground truth; ESU plays
+// that role here. It is exponential in general but comfortable at the
+// scales our experiments need (graphs with up to ~10^5 small subgraphs per
+// node and k ≤ 6).
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+)
+
+// Count returns the exact number of induced occurrences of every connected
+// k-graphlet in g, keyed by canonical code.
+func Count(g *graph.Graph, k int) (estimate.Counts, error) {
+	if k < 1 || k > graphlet.MaxK {
+		return nil, fmt.Errorf("exact: k=%d out of range [1,%d]", k, graphlet.MaxK)
+	}
+	out := make(estimate.Counts)
+	n := g.NumNodes()
+	sub := make([]int32, 0, k)
+	inSub := make([]bool, n)
+	// neighborOfSub[v] is true when v is adjacent to (or part of) the
+	// current subgraph or was already rejected as an exclusive extension —
+	// the ESU rule that guarantees each subgraph is enumerated once.
+	canon := make(map[graphlet.Code]graphlet.Code)
+
+	var extend func(v int32, ext []int32)
+	extend = func(v int32, ext []int32) {
+		if len(sub) == k {
+			raw := rawCode(g, sub)
+			cc, ok := canon[raw]
+			if !ok {
+				cc = graphlet.Canonical(k, raw)
+				canon[raw] = cc
+			}
+			out[cc]++
+			return
+		}
+		// Take each extension candidate in turn; candidates after it stay
+		// available, candidates before it are excluded (handled by slicing).
+		for i := 0; i < len(ext); i++ {
+			w := ext[i]
+			// New extension set: remaining candidates plus exclusive
+			// neighbors of w (neighbors > v not adjacent to the current
+			// subgraph).
+			next := make([]int32, len(ext)-i-1, len(ext)-i-1+g.Degree(w))
+			copy(next, ext[i+1:])
+			sub = append(sub, w)
+			inSub[w] = true
+			for _, u := range g.Neighbors(w) {
+				if u <= v || inSub[u] {
+					continue
+				}
+				if adjacentToSub(g, u, sub[:len(sub)-1]) {
+					continue
+				}
+				// u must also not already be in ext (it would be counted
+				// twice); ext members are adjacent to the earlier subgraph
+				// only via... check directly.
+				if contains(next, u) || contains(ext[:i], u) {
+					continue
+				}
+				next = append(next, u)
+			}
+			extend(v, next)
+			inSub[w] = false
+			sub = sub[:len(sub)-1]
+		}
+	}
+
+	for v := int32(0); int(v) < n; v++ {
+		sub = append(sub, v)
+		inSub[v] = true
+		var ext []int32
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				ext = append(ext, u)
+			}
+		}
+		extend(v, ext)
+		inSub[v] = false
+		sub = sub[:0]
+	}
+	return out, nil
+}
+
+func adjacentToSub(g *graph.Graph, u int32, sub []int32) bool {
+	for _, s := range sub {
+		if g.HasEdge(u, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []int32, x int32) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func rawCode(g *graph.Graph, nodes []int32) graphlet.Code {
+	var edges [][2]int
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if g.HasEdge(nodes[i], nodes[j]) {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graphlet.FromEdges(len(nodes), edges)
+}

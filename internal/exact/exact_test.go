@@ -1,0 +1,127 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/estimate"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+)
+
+// bruteCount enumerates all k-subsets and counts connected induced
+// subgraphs — an independent (slower) ground truth for ESU.
+func bruteCount(g *graph.Graph, k int) estimate.Counts {
+	out := make(estimate.Counts)
+	n := g.NumNodes()
+	nodes := make([]int32, 0, k)
+	var rec func(start int32)
+	rec = func(start int32) {
+		if len(nodes) == k {
+			var edges [][2]int
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if g.HasEdge(nodes[i], nodes[j]) {
+						edges = append(edges, [2]int{i, j})
+					}
+				}
+			}
+			c := graphlet.FromEdges(k, edges)
+			if graphlet.IsConnected(k, c) {
+				out[graphlet.Canonical(k, c)]++
+			}
+			return
+		}
+		for v := start; int(v) < n; v++ {
+			nodes = append(nodes, v)
+			rec(v + 1)
+			nodes = nodes[:len(nodes)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+func assertEqualCounts(t *testing.T, got, want estimate.Counts) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("support sizes differ: got %d, want %d", len(got), len(want))
+	}
+	for code, w := range want {
+		if got[code] != w {
+			t.Fatalf("count mismatch for %v: got %v, want %v", code, got[code], w)
+		}
+	}
+}
+
+func TestESUMatchesBruteForce(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"er":    gen.ErdosRenyi(12, 25, 3),
+		"ba":    gen.BarabasiAlbert(12, 2, 5),
+		"star":  gen.Star(10),
+		"cycle": gen.Cycle(9),
+		"lolli": gen.Lollipop(6, 3),
+	}
+	for name, g := range graphs {
+		for k := 2; k <= 5; k++ {
+			got, err := Count(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteCount(g, k)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s k=%d: %v", name, k, r)
+					}
+				}()
+				assertEqualCounts(t, got, want)
+			}()
+		}
+	}
+}
+
+func TestESUKnownCounts(t *testing.T) {
+	// K4 contains exactly 4 triangles and nothing else at k=3.
+	c3, err := Count(gen.Complete(4), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := graphlet.Canonical(3, graphlet.FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}))
+	if len(c3) != 1 || c3[tri] != 4 {
+		t.Fatalf("K4 triangles: %v", c3)
+	}
+	// P10 contains exactly n-k+1 induced paths at each k.
+	for k := 2; k <= 6; k++ {
+		cp, err := Count(gen.Path(10), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cp) != 1 {
+			t.Fatalf("P10 k=%d: %d shapes", k, len(cp))
+		}
+		for _, n := range cp {
+			if n != float64(10-k+1) {
+				t.Fatalf("P10 k=%d: %v paths, want %d", k, n, 10-k+1)
+			}
+		}
+	}
+	// Star K_{1,9}: induced k-subgraphs are the C(9, k-1) stars.
+	c4, err := Count(gen.Star(10), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	star4 := graphlet.Canonical(4, graphlet.FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}}))
+	if len(c4) != 1 || c4[star4] != 84 { // C(9,3)
+		t.Fatalf("star k=4 counts: %v", c4)
+	}
+}
+
+func TestESUValidation(t *testing.T) {
+	if _, err := Count(gen.Path(3), 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := Count(gen.Path(3), graphlet.MaxK+1); err == nil {
+		t.Error("k too large must fail")
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestCatalogWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range Catalog() {
+		if d.Name == "" || d.Regime == "" || d.MaxK < 4 || d.Gen == nil {
+			t.Errorf("dataset %+v malformed", d.Name)
+		}
+		if seen[d.Name] {
+			t.Errorf("duplicate dataset %q", d.Name)
+		}
+		seen[d.Name] = true
+		g := d.Gen()
+		if g.NumNodes() == 0 || g.NumEdges() == 0 {
+			t.Errorf("dataset %q is empty", d.Name)
+		}
+	}
+	if _, ok := ByName("facebook-s"); !ok {
+		t.Error("ByName failed for a known dataset")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName matched a bogus name")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"datasets", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "speedup", "tablesize", "samplerate", "l1", "lollipop"}
+	for _, id := range want {
+		if Registry[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(Registry) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+}
+
+func TestDatasetsTableOutput(t *testing.T) {
+	var sb strings.Builder
+	DatasetsTable(&sb)
+	out := sb.String()
+	for _, d := range Catalog() {
+		if !strings.Contains(out, d.Name) {
+			t.Errorf("datasets table missing %q", d.Name)
+		}
+	}
+}
+
+func TestLollipopExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of ESU enumeration")
+	}
+	var sb strings.Builder
+	LollipopLowerBound(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "p_H") || !strings.Contains(out, "sample(path-shape)") {
+		t.Errorf("unexpected lollipop output:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := histogram([]float64{-1, -0.9, 0, 0.3, 2})
+	for _, frag := range []string{"[≤-1]:1", "(-0.05,0.05]:1", "[>1]:1"} {
+		if !strings.Contains(h, frag) {
+			t.Errorf("histogram %q missing %q", h, frag)
+		}
+	}
+}
+
+var _ = io.Discard // keep io imported if assertions change

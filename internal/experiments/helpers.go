@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"io"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+)
+
+func genLollipop(cliqueN, tailLen int) *graph.Graph { return gen.Lollipop(cliqueN, tailLen) }
+
+// isPathCode reports whether the graphlet is the k-path (two degree-1
+// endpoints, the rest degree 2, k-1 edges).
+func isPathCode(k int, c graphlet.Code) bool {
+	if c.EdgeCount() != k-1 {
+		return false
+	}
+	ones, twos := 0, 0
+	for _, d := range graphlet.Degrees(k, c) {
+		switch d {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	return ones == 2 && twos == k-2
+}
+
+// pathShapeOf returns the unrooted canonical treelet shape of the k-path.
+func pathShapeOf(k int) treelet.Treelet {
+	parents := make([]int, k)
+	for i := 1; i < k; i++ {
+		parents[i] = i - 1
+	}
+	return treelet.UnrootedCanonical(treelet.FromParents(parents))
+}
+
+// All runs every experiment in paper order.
+func All(w io.Writer) {
+	for _, f := range []func(io.Writer){
+		DatasetsTable,
+		Fig2CheckMerge,
+		Fig3BuildMemory,
+		Fig4ZeroRooting,
+		Fig5NeighborBuffering,
+		Fig6BiasedColoring,
+		Fig7Scaling,
+		Fig8ErrorDistributions,
+		Fig9AccurateGraphlets,
+		Fig10RarestGraphlet,
+		TableBuildSpeedup,
+		TableSize,
+		TableSamplingSpeed,
+		L1Accuracy,
+		LollipopLowerBound,
+	} {
+		f(w)
+		io.WriteString(w, "\n")
+	}
+}
+
+// Registry maps experiment ids to runners for the CLI.
+var Registry = map[string]func(io.Writer){
+	"datasets":   DatasetsTable,
+	"fig2":       Fig2CheckMerge,
+	"fig3":       Fig3BuildMemory,
+	"fig4":       Fig4ZeroRooting,
+	"fig5":       Fig5NeighborBuffering,
+	"fig6":       Fig6BiasedColoring,
+	"fig7":       Fig7Scaling,
+	"fig8":       Fig8ErrorDistributions,
+	"fig9":       Fig9AccurateGraphlets,
+	"fig10":      Fig10RarestGraphlet,
+	"speedup":    TableBuildSpeedup,
+	"tablesize":  TableSize,
+	"samplerate": TableSamplingSpeed,
+	"l1":         L1Accuracy,
+	"lollipop":   LollipopLowerBound,
+}

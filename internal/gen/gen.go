@@ -1,0 +1,199 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates on nine public graphs (Table 1) ranging from Facebook
+// (0.1M nodes) to Friendster (65.6M nodes, 1.8B edges). Those datasets are
+// not shipped here; instead each generator below reproduces the structural
+// regime that a family of datasets exercises:
+//
+//   - ErdosRenyi: flat degree and graphlet distributions (Dblp/Amazon-like;
+//     the regime where naive sampling ties or beats AGS, Section 5.3).
+//   - BarabasiAlbert: heavy-tailed degrees (Orkut/LiveJournal-like; hubs
+//     trigger the neighbor-buffering optimization, Section 3.2).
+//   - StarHeavy: one or few dominant hubs so that almost all k-graphlets
+//     are stars (Yelp-like: >99.9996% of 8-graphlets are stars; the
+//     showcase for AGS, Section 5.3).
+//   - Lollipop: the (n', n-n') lollipop of Theorem 5, the worst case for
+//     any sample(T)-based algorithm.
+//
+// All generators take an explicit seed and are reproducible across runs.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErdosRenyi returns a G(n, m) graph: m distinct uniform random edges.
+func ErdosRenyi(n int, m int, seed int64) *graph.Graph {
+	if max := int64(n) * int64(n-1) / 2; int64(m) > max {
+		panic(fmt.Sprintf("gen: ErdosRenyi m=%d exceeds max %d", m, max))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[[2]int32]struct{}, m)
+	edges := make([]graph.Edge, 0, m)
+	for len(edges) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{u, v}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err) // generator bug; edges are in range by construction
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: nodes arrive one
+// at a time and connect to mPerNode existing nodes chosen proportionally to
+// their current degree (the repeated-endpoint-list trick).
+func BarabasiAlbert(n, mPerNode int, seed int64) *graph.Graph {
+	if mPerNode < 1 || n <= mPerNode {
+		panic(fmt.Sprintf("gen: BarabasiAlbert needs n > mPerNode >= 1, got n=%d m=%d", n, mPerNode))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Start from a star on mPerNode+1 nodes so early picks have targets.
+	var edges []graph.Edge
+	endpoints := make([]int32, 0, 2*n*mPerNode)
+	for v := 1; v <= mPerNode; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
+		endpoints = append(endpoints, 0, int32(v))
+	}
+	targets := make(map[int32]struct{}, mPerNode)
+	for v := mPerNode + 1; v < n; v++ {
+		for k := range targets {
+			delete(targets, k)
+		}
+		for len(targets) < mPerNode {
+			t := endpoints[rng.Intn(len(endpoints))]
+			targets[t] = struct{}{}
+		}
+		for t := range targets {
+			edges = append(edges, graph.Edge{U: int32(v), V: t})
+			endpoints = append(endpoints, int32(v), t)
+		}
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// StarHeavy returns a graph dominated by `hubs` high-degree centers, each
+// adjacent to all of `leaves` shared leaf nodes, plus `extraEdges` random
+// edges among the leaves. With hubs=1 and extraEdges small, virtually every
+// k-graphlet is a star — the Yelp regime of Section 5.3.
+func StarHeavy(hubs, leaves, extraEdges int, seed int64) *graph.Graph {
+	n := hubs + leaves
+	rng := rand.New(rand.NewSource(seed))
+	var edges []graph.Edge
+	for h := 0; h < hubs; h++ {
+		for l := 0; l < leaves; l++ {
+			edges = append(edges, graph.Edge{U: int32(h), V: int32(hubs + l)})
+		}
+	}
+	for i := 0; i < extraEdges; i++ {
+		u := int32(hubs + rng.Intn(leaves))
+		v := int32(hubs + rng.Intn(leaves))
+		edges = append(edges, graph.Edge{U: u, V: v}) // dups/loops dropped by Build
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Lollipop returns the (cliqueN, tailLen) lollipop graph of Theorem 5: a
+// clique on cliqueN nodes with a dangling path of tailLen nodes attached to
+// clique node 0.
+func Lollipop(cliqueN, tailLen int) *graph.Graph {
+	n := cliqueN + tailLen
+	var edges []graph.Edge
+	for i := 0; i < cliqueN; i++ {
+		for j := i + 1; j < cliqueN; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	prev := int32(0)
+	for t := 0; t < tailLen; t++ {
+		v := int32(cliqueN + t)
+		edges = append(edges, graph.Edge{U: prev, V: v})
+		prev = v
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Complete returns the clique K_n.
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: int32(i), V: int32(j)})
+		}
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Cycle returns the cycle graph C_n.
+func Cycle(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: int32(i), V: int32(i + 1)})
+	}
+	if n > 2 {
+		edges = append(edges, graph.Edge{U: 0, V: int32(n - 1)})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Star returns the star K_{1,n-1} centered at node 0.
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: int32(i)})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(100, 300, 1)
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	// Determinism.
+	g2 := ErdosRenyi(100, 300, 1)
+	for v := graph.Node(0); v < 100; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatal("same seed must give same graph")
+		}
+	}
+	g3 := ErdosRenyi(100, 300, 2)
+	same := true
+	for v := graph.Node(0); v < 100; v++ {
+		if g.Degree(v) != g3.Degree(v) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical degree sequences (suspicious)")
+	}
+}
+
+func TestErdosRenyiPanicsWhenOverfull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ErdosRenyi(3, 4, 1)
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(500, 3, 7)
+	if g.NumNodes() != 500 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	// m ≈ (n - m0 - ... ) * mPerNode; at least n-4 nodes add ≤3 edges each.
+	if g.NumEdges() < 1000 || g.NumEdges() > 1500 {
+		t.Errorf("m=%d out of expected band", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("BA graph should be connected")
+	}
+	// Heavy tail: max degree far above the mean degree.
+	mean := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestStarHeavy(t *testing.T) {
+	g := StarHeavy(1, 1000, 20, 3)
+	if g.NumNodes() != 1001 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	if g.Degree(0) != 1000 {
+		t.Errorf("hub degree %d, want 1000", g.Degree(0))
+	}
+	if g.NumEdges() < 1000 || g.NumEdges() > 1020 {
+		t.Errorf("m=%d", g.NumEdges())
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(10, 4)
+	if g.NumNodes() != 14 {
+		t.Fatalf("n=%d", g.NumNodes())
+	}
+	wantM := int64(10*9/2 + 4)
+	if g.NumEdges() != wantM {
+		t.Errorf("m=%d want %d", g.NumEdges(), wantM)
+	}
+	if !g.Connected() {
+		t.Error("lollipop must be connected")
+	}
+	// Tail end has degree 1.
+	if g.Degree(13) != 1 {
+		t.Errorf("tail end degree %d", g.Degree(13))
+	}
+}
+
+func TestSmallShapes(t *testing.T) {
+	if g := Complete(5); g.NumEdges() != 10 {
+		t.Errorf("K5 edges=%d", g.NumEdges())
+	}
+	if g := Path(5); g.NumEdges() != 4 || !g.Connected() {
+		t.Errorf("P5 wrong")
+	}
+	if g := Cycle(5); g.NumEdges() != 5 {
+		t.Errorf("C5 edges=%d", g.NumEdges())
+	}
+	if g := Star(5); g.Degree(0) != 4 {
+		t.Errorf("star center degree=%d", g.Degree(0))
+	}
+	if g := Cycle(2); g.NumEdges() != 1 {
+		t.Errorf("C2 degenerates to single edge, got %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("u v" per line;
+// lines starting with '#' or '%' are comments). Vertex ids may be sparse;
+// they are compacted to [0, n) preserving order of first appearance.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	remap := make(map[int64]Node)
+	var edges []Edge
+	id := func(raw int64) Node {
+		if v, ok := remap[raw]; ok {
+			return v
+		}
+		v := Node(len(remap))
+		remap[raw] = v
+		return v
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		edges = append(edges, Edge{id(u), id(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Build(len(remap), edges)
+}
+
+// WriteEdgeList writes the graph as a plain edge list (each undirected edge
+// once, smaller endpoint first).
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for v := Node(0); int(v) < g.NumNodes(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if v < u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the compact binary graph format (paper §5:
+// "converted to the motivo binary format").
+const binaryMagic = uint32(0x4d764731) // "MvG1"
+
+// WriteBinary serializes the graph in a compact little-endian CSR format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint64{uint64(binaryMagic), uint64(g.NumNodes()), uint64(len(g.adj))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	if uint32(hdr[0]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	n, m2 := int(hdr[1]), int(hdr[2])
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		adj:     make([]Node, m2),
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.offsets); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &g.adj); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,106 @@
+package graphlet
+
+import "sort"
+
+// Canonical returns the canonical form of a graphlet code: the minimum code
+// over all vertex relabelings that respect the (isomorphism-invariant)
+// vertex-class ordering. Vertices are first partitioned by a two-round
+// Weisfeiler–Leman-style invariant (degree, then degree + sorted multiset
+// of neighbor degrees); any isomorphism maps classes to classes, so
+// restricting the search to class-respecting permutations is exact while
+// pruning the k! search space drastically for irregular graphlets.
+func Canonical(k int, c Code) Code {
+	if k <= 1 {
+		return c
+	}
+	inv := invariants(k, c)
+	// Vertices sorted by invariant; equal invariants form a class.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return inv[order[a]] < inv[order[b]] })
+	// Class boundaries.
+	bounds := []int{0}
+	for i := 1; i < k; i++ {
+		if inv[order[i]] != inv[order[i-1]] {
+			bounds = append(bounds, i)
+		}
+	}
+	bounds = append(bounds, k)
+
+	best := Code{Hi: ^uint64(0), Lo: ^uint64(0)}
+	perm := make([]int, k) // perm[v] = new label of vertex v
+	var rec func(class int)
+	rec = func(class int) {
+		if class == len(bounds)-1 {
+			if cand := Relabel(k, c, perm); cand.Less(best) {
+				best = cand
+			}
+			return
+		}
+		lo, hi := bounds[class], bounds[class+1]
+		// Permute the vertices of this class over positions lo..hi-1.
+		permuteClass(order[lo:hi], lo, perm, func() { rec(class + 1) })
+	}
+	rec(0)
+	return best
+}
+
+// permuteClass assigns each vertex in vs a distinct position base+i for
+// every permutation, invoking done for each complete assignment.
+func permuteClass(vs []int, base int, perm []int, done func()) {
+	n := len(vs)
+	var rec func(i int)
+	used := make([]bool, n)
+	pos := make([]int, n)
+	rec = func(i int) {
+		if i == n {
+			for j, v := range vs {
+				perm[v] = base + pos[j]
+			}
+			done()
+			return
+		}
+		for p := 0; p < n; p++ {
+			if !used[p] {
+				used[p] = true
+				pos[i] = p
+				rec(i + 1)
+				used[p] = false
+			}
+		}
+	}
+	rec(0)
+}
+
+// invariants computes a deterministic isomorphism-invariant value per
+// vertex: two refinement rounds of (degree, sorted neighbor invariants),
+// each packed into a uint64 by a polynomial rolling combine.
+func invariants(k int, c Code) []uint64 {
+	inv := make([]uint64, k)
+	deg := Degrees(k, c)
+	for v := 0; v < k; v++ {
+		inv[v] = uint64(deg[v])
+	}
+	buf := make([]uint64, 0, k)
+	for round := 0; round < 2; round++ {
+		next := make([]uint64, k)
+		for v := 0; v < k; v++ {
+			buf = buf[:0]
+			for u := 0; u < k; u++ {
+				if u != v && c.Bit(u, v) {
+					buf = append(buf, inv[u])
+				}
+			}
+			sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+			h := inv[v]*0x9E3779B97F4A7C15 + 0x85EBCA6B
+			for _, x := range buf {
+				h = h*0xC2B2AE3D27D4EB4F + x + 1
+			}
+			next[v] = h
+		}
+		inv = next
+	}
+	return inv
+}

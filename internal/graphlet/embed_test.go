@@ -1,0 +1,89 @@
+package graphlet
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestAutomorphismsKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		c    Code
+		want int64
+	}{
+		{"edge", 2, FromEdges(2, [][2]int{{0, 1}}), 2},
+		{"P3", 3, FromEdges(3, [][2]int{{0, 1}, {1, 2}}), 2},
+		{"triangle", 3, FromGraph(gen.Complete(3)), 6},
+		{"P4", 4, FromGraph(gen.Path(4)), 2},
+		{"C4", 4, FromGraph(gen.Cycle(4)), 8},
+		{"K4", 4, FromGraph(gen.Complete(4)), 24},
+		{"star4", 4, FromGraph(gen.Star(4)), 6},  // 3! leaf permutations
+		{"star5", 5, FromGraph(gen.Star(5)), 24}, // 4!
+		{"C5", 5, FromGraph(gen.Cycle(5)), 10},   // dihedral
+		{"C6", 6, FromGraph(gen.Cycle(6)), 12},
+	}
+	for _, tc := range cases {
+		if got := Automorphisms(tc.k, tc.c); got != tc.want {
+			t.Errorf("%s: |Aut| = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEmbeddingsKnown(t *testing.T) {
+	k4 := FromGraph(gen.Complete(4))
+	p4 := FromGraph(gen.Path(4))
+	c4 := FromGraph(gen.Cycle(4))
+	star4 := FromGraph(gen.Star(4))
+
+	// Any graph embeds into the clique in all k! ways.
+	if got := Embeddings(4, p4, k4); got != 24 {
+		t.Errorf("Emb(P4→K4) = %d, want 24", got)
+	}
+	// P4 into C4: choose a start vertex and direction.
+	if got := Embeddings(4, p4, c4); got != 8 {
+		t.Errorf("Emb(P4→C4) = %d, want 8", got)
+	}
+	// The clique does not embed into anything sparser.
+	if got := Embeddings(4, k4, c4); got != 0 {
+		t.Errorf("Emb(K4→C4) = %d, want 0", got)
+	}
+	// Star into C4: the center needs degree 3, C4 is 2-regular.
+	if got := Embeddings(4, star4, c4); got != 0 {
+		t.Errorf("Emb(star→C4) = %d, want 0", got)
+	}
+}
+
+func TestSubgraphMultiplicity(t *testing.T) {
+	k4 := FromGraph(gen.Complete(4))
+	p4 := FromGraph(gen.Path(4))
+	c4 := FromGraph(gen.Cycle(4))
+	// Spanning paths of K4: 4!/2 = 12.
+	if got := SubgraphMultiplicity(4, p4, k4); got != 12 {
+		t.Errorf("paths in K4 = %d, want 12", got)
+	}
+	// Spanning cycles of K4: 3.
+	if got := SubgraphMultiplicity(4, c4, k4); got != 3 {
+		t.Errorf("cycles in K4 = %d, want 3", got)
+	}
+	// A graph spans itself exactly once.
+	for _, c := range []Code{k4, p4, c4} {
+		if got := SubgraphMultiplicity(4, c, c); got != 1 {
+			t.Errorf("self multiplicity = %d, want 1", got)
+		}
+	}
+}
+
+func TestEmbeddingsInvariantUnderRelabeling(t *testing.T) {
+	// Multiplicity must not depend on which representative codes are used.
+	h := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	target := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}})
+	want := SubgraphMultiplicity(5, h, target)
+	perm := []int{2, 0, 4, 1, 3}
+	h2 := Relabel(5, h, perm)
+	t2 := Relabel(5, target, perm)
+	if got := SubgraphMultiplicity(5, h2, t2); got != want {
+		t.Errorf("multiplicity changed under relabeling: %d vs %d", got, want)
+	}
+}

@@ -1,0 +1,44 @@
+package graphlet
+
+import "fmt"
+
+// numConnected is the number of connected graphs on n unlabeled vertices
+// (OEIS A001349) — the number of distinct n-graphlets. The paper quotes
+// "over 10k" for k = 8 (11117) and "over 11.7M" for k = 10.
+var numConnected = []int64{1, 1, 1, 2, 6, 21, 112, 853, 11117, 261080, 11716571, 1006700565}
+
+// NumGraphlets returns the number of distinct connected graphlets on k
+// nodes, used to normalize "fraction of graphlets estimated accurately"
+// (Figure 9).
+func NumGraphlets(k int) int64 {
+	if k < 0 || k >= len(numConnected) {
+		panic(fmt.Sprintf("graphlet: NumGraphlets(%d) out of range", k))
+	}
+	return numConnected[k]
+}
+
+// Enumerate lists the canonical codes of all connected graphlets on k
+// nodes by exhaustive generation over the 2^(k(k-1)/2) labeled graphs.
+// Practical for k ≤ 7 (≈ 2M labeled graphs); larger k would need canonical
+// augmentation, which motivo itself avoids by canonicalizing only sampled
+// graphlets.
+func Enumerate(k int) []Code {
+	if k < 1 || k > 7 {
+		panic(fmt.Sprintf("graphlet: Enumerate(%d) supported only for 1 ≤ k ≤ 7", k))
+	}
+	bitsN := uint(k * (k - 1) / 2)
+	seen := make(map[Code]bool)
+	var out []Code
+	for m := uint64(0); m < 1<<bitsN; m++ {
+		c := Code{Lo: m}
+		if !IsConnected(k, c) {
+			continue
+		}
+		canon := Canonical(k, c)
+		if !seen[canon] {
+			seen[canon] = true
+			out = append(out, canon)
+		}
+	}
+	return out
+}

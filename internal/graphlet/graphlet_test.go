@@ -1,0 +1,230 @@
+package graphlet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/treelet"
+)
+
+func TestCodeBits(t *testing.T) {
+	c := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if !c.Bit(0, 1) || !c.Bit(1, 0) || !c.Bit(2, 3) {
+		t.Fatal("set bits missing")
+	}
+	if c.Bit(0, 2) || c.Bit(1, 3) {
+		t.Fatal("phantom bits")
+	}
+	if c.EdgeCount() != 2 {
+		t.Fatalf("edge count %d", c.EdgeCount())
+	}
+}
+
+func TestHighBits(t *testing.T) {
+	// Pair (10, 11) for k=12 would exceed MaxK; use k=11 and its largest
+	// pair (9, 10): index 10*9/2+9 = 54 — still in Lo. Force a Hi bit via
+	// pairIndex math instead.
+	if pairIndex(0, 1) != 0 || pairIndex(1, 2) != 2 || pairIndex(0, 2) != 1 {
+		t.Fatal("pairIndex wrong for small pairs")
+	}
+	if pairIndex(9, 10) != 54 {
+		t.Fatalf("pairIndex(9,10)=%d", pairIndex(9, 10))
+	}
+}
+
+func TestFromGraphMatchesFromEdges(t *testing.T) {
+	g := gen.Cycle(5)
+	c := FromGraph(g)
+	want := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	if c != want {
+		t.Fatalf("cycle code mismatch: %v vs %v", c, want)
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	if !IsConnected(3, FromEdges(3, [][2]int{{0, 1}, {1, 2}})) {
+		t.Error("path connected")
+	}
+	if IsConnected(3, FromEdges(3, [][2]int{{0, 1}})) {
+		t.Error("isolated vertex must disconnect")
+	}
+	if !IsConnected(1, Code{}) {
+		t.Error("singleton connected")
+	}
+}
+
+func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		k := 3 + rng.Intn(5) // 3..7
+		// Random connected graphlet: random graph + retry.
+		var c Code
+		for {
+			c = Code{Lo: rng.Uint64() & (1<<(k*(k-1)/2) - 1)}
+			if IsConnected(k, c) {
+				break
+			}
+		}
+		canon := Canonical(k, c)
+		// Random permutation.
+		p := rng.Perm(k)
+		relabeled := Relabel(k, c, p)
+		if got := Canonical(k, relabeled); got != canon {
+			t.Fatalf("k=%d: canonical not invariant: %v vs %v (perm %v)", k, got, canon, p)
+		}
+	}
+}
+
+func TestCanonicalSeparatesNonIsomorphic(t *testing.T) {
+	// Path P4 vs star K_{1,3}: same degree sum, different canonical codes.
+	p4 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	s4 := FromEdges(4, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if Canonical(4, p4) == Canonical(4, s4) {
+		t.Error("P4 and K_{1,3} must have different canonical forms")
+	}
+	// C4 vs diamond (C4 + chord): differ by an edge.
+	c4 := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	diamond := FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if Canonical(4, c4) == Canonical(4, diamond) {
+		t.Error("C4 and diamond must differ")
+	}
+}
+
+func TestEnumerateMatchesOEIS(t *testing.T) {
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 6, 5: 21, 6: 112}
+	for k, n := range want {
+		if got := len(Enumerate(k)); got != n {
+			t.Errorf("Enumerate(%d) = %d graphlets, want %d", k, got, n)
+		}
+	}
+}
+
+func TestEnumerateK7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M labeled graphs; skipped in -short")
+	}
+	if got := len(Enumerate(7)); got != 853 {
+		t.Errorf("Enumerate(7) = %d, want 853", got)
+	}
+}
+
+func TestNumGraphlets(t *testing.T) {
+	if NumGraphlets(8) != 11117 {
+		t.Errorf("NumGraphlets(8) = %d", NumGraphlets(8))
+	}
+	if NumGraphlets(10) != 11716571 {
+		t.Errorf("NumGraphlets(10) = %d", NumGraphlets(10))
+	}
+}
+
+func TestSpanningTreeCountKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		c    Code
+		want int64
+	}{
+		{"edge", 2, FromEdges(2, [][2]int{{0, 1}}), 1},
+		{"triangle", 3, FromEdges(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}), 3},
+		{"P4", 4, FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}}), 1},
+		{"C4", 4, FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), 4},
+		{"K4", 4, FromGraph(gen.Complete(4)), 16},   // Cayley: 4^2
+		{"K5", 5, FromGraph(gen.Complete(5)), 125},  // 5^3
+		{"K6", 6, FromGraph(gen.Complete(6)), 1296}, // 6^4
+		{"C6", 6, FromGraph(gen.Cycle(6)), 6},
+		{"star6", 6, FromGraph(gen.Star(6)), 1},
+	}
+	for _, tc := range cases {
+		if got := SpanningTreeCount(tc.k, tc.c); got != tc.want {
+			t.Errorf("%s: σ = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSpanningTreeShapesSumMatchesKirchhoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for k := 3; k <= 7; k++ {
+		cat := treelet.NewCatalog(k)
+		for trial := 0; trial < 30; trial++ {
+			var c Code
+			for {
+				c = Code{Lo: rng.Uint64() & (1<<(k*(k-1)/2) - 1)}
+				if IsConnected(k, c) {
+					break
+				}
+			}
+			shapes := SpanningTreeShapes(k, c, cat)
+			var sum int64
+			for shape, n := range shapes {
+				if n <= 0 {
+					t.Fatalf("non-positive σ_ij %d", n)
+				}
+				if shape.Size() != k {
+					t.Fatalf("shape of size %d in σ table", shape.Size())
+				}
+				sum += n
+			}
+			if want := SpanningTreeCount(k, c); sum != want {
+				t.Fatalf("k=%d: Σσ_ij = %d, Kirchhoff = %d (code %v)", k, sum, want, c)
+			}
+		}
+	}
+}
+
+func TestSpanningTreeShapesPath(t *testing.T) {
+	// A path's only spanning tree is the path itself.
+	k := 5
+	cat := treelet.NewCatalog(k)
+	c := FromGraph(gen.Path(k))
+	shapes := SpanningTreeShapes(k, c, cat)
+	if len(shapes) != 1 {
+		t.Fatalf("path has %d spanning shapes, want 1", len(shapes))
+	}
+	for shape, n := range shapes {
+		if n != 1 {
+			t.Errorf("σ = %d, want 1", n)
+		}
+		// The shape must be the unrooted canonical path.
+		want := treelet.UnrootedCanonical(treelet.FromParents([]int{0, 0, 1, 2, 3}))
+		if shape != want {
+			t.Errorf("shape %v, want path %v", shape, want)
+		}
+	}
+}
+
+func TestSpanningTreeShapesClique(t *testing.T) {
+	// K4: 16 spanning trees = 12 paths + 4 stars.
+	cat := treelet.NewCatalog(4)
+	shapes := SpanningTreeShapes(4, FromGraph(gen.Complete(4)), cat)
+	path := treelet.UnrootedCanonical(treelet.FromParents([]int{0, 0, 1, 2}))
+	star := treelet.UnrootedCanonical(treelet.FromParents([]int{0, 0, 0, 0}))
+	if shapes[path] != 12 || shapes[star] != 4 {
+		t.Errorf("K4 shapes = %v (path %v star %v), want 12 paths + 4 stars", shapes, shapes[path], shapes[star])
+	}
+}
+
+func TestIsCliqueIsStar(t *testing.T) {
+	if !IsClique(4, FromGraph(gen.Complete(4))) {
+		t.Error("K4 is a clique")
+	}
+	if IsClique(4, FromGraph(gen.Cycle(4))) {
+		t.Error("C4 is not a clique")
+	}
+	if !IsStar(5, FromGraph(gen.Star(5))) {
+		t.Error("K_{1,4} is a star")
+	}
+	if IsStar(5, FromGraph(gen.Path(5))) {
+		t.Error("P5 is not a star")
+	}
+	if !IsStar(2, FromEdges(2, [][2]int{{0, 1}})) {
+		t.Error("edge counts as 2-star")
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	deg := Degrees(4, FromGraph(gen.Star(4)))
+	if deg[0] != 3 || deg[1] != 1 || deg[2] != 1 || deg[3] != 1 {
+		t.Errorf("star degrees %v", deg)
+	}
+}

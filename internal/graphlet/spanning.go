@@ -1,0 +1,136 @@
+package graphlet
+
+import (
+	"repro/internal/treelet"
+)
+
+// SpanningTreeCount returns σ_i, the number of spanning trees of the
+// graphlet, via Kirchhoff's matrix-tree theorem: the determinant of any
+// (k-1)×(k-1) principal minor of the Laplacian (paper, Section 3.3). The
+// determinant is computed exactly with Bareiss fraction-free elimination;
+// values fit easily in int64 for k ≤ MaxK (at most k^(k-2) ≤ 11^9).
+func SpanningTreeCount(k int, c Code) int64 {
+	if k == 1 {
+		return 1
+	}
+	n := k - 1
+	m := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]int64, n)
+	}
+	deg := Degrees(k, c)
+	for i := 0; i < n; i++ {
+		m[i][i] = int64(deg[i])
+		for j := 0; j < n; j++ {
+			if i != j && c.Bit(i, j) {
+				m[i][j] = -1
+			}
+		}
+	}
+	return bareissDet(m)
+}
+
+// bareissDet computes an exact integer determinant by Bareiss elimination.
+// It destroys its argument.
+func bareissDet(m [][]int64) int64 {
+	n := len(m)
+	sign := int64(1)
+	prev := int64(1)
+	for p := 0; p < n-1; p++ {
+		if m[p][p] == 0 {
+			// Pivot: find a row below with a nonzero entry in column p.
+			swapped := false
+			for r := p + 1; r < n; r++ {
+				if m[r][p] != 0 {
+					m[p], m[r] = m[r], m[p]
+					sign = -sign
+					swapped = true
+					break
+				}
+			}
+			if !swapped {
+				return 0
+			}
+		}
+		for i := p + 1; i < n; i++ {
+			for j := p + 1; j < n; j++ {
+				m[i][j] = (m[i][j]*m[p][p] - m[i][p]*m[p][j]) / prev
+			}
+			m[i][p] = 0
+		}
+		prev = m[p][p]
+	}
+	return sign * m[n-1][n-1]
+}
+
+// SpanningTreeShapes returns σ_ij for graphlet c: for each unrooted
+// canonical k-treelet shape T_j, the number of spanning trees of c
+// isomorphic to T_j.
+//
+// Implementation mirrors the paper (Section 3.3, "Spanning trees"): run the
+// colorful build-up dynamic program on the graphlet itself with the
+// identity coloring (vertex i has color i). Every spanning tree is then
+// automatically colorful and, with 0-rooting, is counted exactly once — at
+// vertex 0 — under its rooted shape; grouping rooted shapes by their
+// unrooted canonical form yields σ_ij. Σ_j σ_ij equals Kirchhoff's count,
+// which the tests assert.
+func SpanningTreeShapes(k int, c Code, cat *treelet.Catalog) map[treelet.Treelet]int64 {
+	if cat.K < k {
+		panic("graphlet: catalog too small for SpanningTreeShapes")
+	}
+	// counts[h][v] maps colored treelet code -> number of copies rooted at
+	// v, for treelets on h vertices.
+	counts := make([][]map[treelet.Colored]int64, k+1)
+	for h := 1; h <= k; h++ {
+		counts[h] = make([]map[treelet.Colored]int64, k)
+		for v := 0; v < k; v++ {
+			counts[h][v] = make(map[treelet.Colored]int64)
+		}
+	}
+	for v := 0; v < k; v++ {
+		counts[1][v][treelet.MakeColored(treelet.Leaf, treelet.Singleton(uint8(v)))] = 1
+	}
+	for h := 2; h <= k; h++ {
+		for v := 0; v < k; v++ {
+			if h == k && v != 0 {
+				continue // 0-rooting: vertex 0 has color 0
+			}
+			acc := counts[h][v]
+			for hpp := 1; hpp < h; hpp++ {
+				hp := h - hpp
+				for cp, np := range counts[hp][v] {
+					for u := 0; u < k; u++ {
+						if u == v || !c.Bit(u, v) {
+							continue
+						}
+						for cpp, npp := range counts[hpp][u] {
+							if !cp.Colors().Disjoint(cpp.Colors()) {
+								continue
+							}
+							if !treelet.CanMerge(cp.Tree(), cpp.Tree()) {
+								continue
+							}
+							acc[treelet.MergeColored(cp, cpp)] += np * npp
+						}
+					}
+				}
+			}
+			// Divide by βT once all pairs are accumulated.
+			for cc, n := range acc {
+				b := int64(cc.Tree().Beta())
+				if n%b != 0 {
+					panic("graphlet: βT does not divide the accumulated count")
+				}
+				acc[cc] = n / b
+			}
+		}
+	}
+	out := make(map[treelet.Treelet]int64)
+	full := treelet.ColorSet(1<<k - 1)
+	for cc, n := range counts[k][0] {
+		if cc.Colors() == full {
+			out[cat.Unrooted(cc.Tree())] += n
+		}
+	}
+	return out
+}

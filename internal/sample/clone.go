@@ -1,0 +1,40 @@
+package sample
+
+import (
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+)
+
+// Clone returns an independent Urn over the same (immutable) graph, table
+// and catalog: fresh neighbor buffers and canonicalization cache, shared
+// alias table (it is read-only after construction). Use one clone per
+// goroutine — the paper's sampling phase is embarrassingly parallel
+// ("samples are by definition independent and are taken by different
+// threads", Section 3.3).
+func (u *Urn) Clone() *Urn {
+	return &Urn{
+		G: u.G, Col: u.Col, Tab: u.Tab, Cat: u.Cat, K: u.K,
+		BufferThreshold: u.BufferThreshold,
+		BufferSize:      u.BufferSize,
+		roots:           u.roots,
+		rootAlias:       u.rootAlias,
+		total:           u.total,
+		buffers:         make(map[bufKey][]childChoice),
+		canonCache:      make(map[graphlet.Code]graphlet.Code),
+	}
+}
+
+// ShapeWeights exposes per-shape totals r_j as float64 for diagnostics and
+// experiments (keyed by unrooted canonical shape).
+func (u *Urn) ShapeWeights() map[treelet.Treelet]float64 {
+	totals := u.Tab.ShapeTotals(u.Cat)
+	out := make(map[treelet.Treelet]float64, len(totals))
+	for s, t := range totals {
+		f := t.Float64()
+		if !u.Tab.ZeroRooted {
+			f /= float64(u.K)
+		}
+		out[s] = f
+	}
+	return out
+}

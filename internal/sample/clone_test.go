@@ -1,0 +1,69 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graphlet"
+)
+
+func TestCloneParallelSampling(t *testing.T) {
+	g := gen.ErdosRenyi(40, 120, 61)
+	u := buildUrn(t, g, 4, 67)
+	const workers = 4
+	const perWorker = 3000
+
+	var mu sync.Mutex
+	merged := make(map[graphlet.Code]int64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			urn := u.Clone()
+			rng := rand.New(rand.NewSource(int64(71 + w)))
+			local := make(map[graphlet.Code]int64)
+			for i := 0; i < perWorker; i++ {
+				code, _ := urn.Sample(rng)
+				local[code]++
+			}
+			mu.Lock()
+			for c, n := range local {
+				merged[c] += n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	// Sequential reference distribution from the original urn.
+	rng := rand.New(rand.NewSource(79))
+	ref := make(map[graphlet.Code]int64)
+	for i := 0; i < workers*perWorker; i++ {
+		code, _ := u.Sample(rng)
+		ref[code]++
+	}
+	total := float64(workers * perWorker)
+	for c, n := range ref {
+		fRef := float64(n) / total
+		fPar := float64(merged[c]) / total
+		if fRef > 0.05 && math.Abs(fRef-fPar) > 0.05 {
+			t.Errorf("parallel frequency diverges for %v: %.3f vs %.3f", c, fPar, fRef)
+		}
+	}
+}
+
+func TestShapeWeightsSumToTotal(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 83)
+	u := buildUrn(t, g, 4, 89)
+	var sum float64
+	for _, w := range u.ShapeWeights() {
+		sum += w
+	}
+	if math.Abs(sum-u.Total().Float64()) > 1e-6*sum {
+		t.Errorf("Σ shape weights %v != urn total %v", sum, u.Total().Float64())
+	}
+}

@@ -1,0 +1,94 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alias"
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// ShapeUrn is the sample(T) primitive of Section 4: it draws uniform
+// colorful copies of a single unrooted k-treelet shape T. Building one
+// requires a pass over the size-k records to weight root nodes by their
+// occurrences of T (the paper notes the alias sampler must be rebuilt from
+// scratch whenever AGS switches shape — this constructor is that rebuild).
+type ShapeUrn struct {
+	Shape treelet.Treelet
+
+	urn       *Urn
+	rootings  []treelet.Treelet
+	roots     []int32
+	rootAlias *alias.Table
+	total     u128.Uint128
+}
+
+// NewShapeUrn restricts the urn to the unrooted shape T.
+func (u *Urn) NewShapeUrn(shape treelet.Treelet) (*ShapeUrn, error) {
+	rootings := u.Cat.Rootings(shape)
+	if len(rootings) == 0 {
+		return nil, fmt.Errorf("sample: %v is not an unrooted k-treelet shape of the catalog", shape)
+	}
+	s := &ShapeUrn{Shape: shape, urn: u, rootings: rootings}
+	weights := make([]float64, 0, len(u.roots))
+	for _, v := range u.roots {
+		rec := u.Tab.Rec(u.K, v)
+		w := u128.Zero
+		for _, t := range rootings {
+			w = w.Add(rec.ShapeTotal(t))
+		}
+		if !w.IsZero() {
+			s.roots = append(s.roots, v)
+			weights = append(weights, w.Float64())
+			s.total = s.total.Add(w)
+		}
+	}
+	s.rootAlias = alias.New(weights)
+	return s, nil
+}
+
+// Total returns r_T: the number of colorful copies of the shape in the urn
+// (distinct copies; corrected for the k-fold rooting when 0-rooting is
+// off).
+func (s *ShapeUrn) Total() u128.Uint128 {
+	if s.urn.Tab.ZeroRooted {
+		return s.total
+	}
+	q, _ := s.total.QuoRem64(uint64(s.urn.K))
+	return q
+}
+
+// Empty reports whether the shape has no colorful occurrence.
+func (s *ShapeUrn) Empty() bool { return s.rootAlias == nil }
+
+// Sample draws one uniform colorful copy of the shape and returns the
+// canonical induced graphlet and the nodes.
+func (s *ShapeUrn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
+	if s.Empty() {
+		panic("sample: shape urn is empty")
+	}
+	v := s.roots[s.rootAlias.Next(rng)]
+	rec := s.urn.Tab.Rec(s.urn.K, v)
+	// Choose the rooted form of the shape proportionally to its count at
+	// v, then a colored treelet within that rooted form.
+	var (
+		cum    []float64
+		ranges [][2]int
+		total  float64
+	)
+	for _, t := range s.rootings {
+		lo, hi := rec.ShapeRange(t)
+		if lo == hi {
+			continue
+		}
+		w := rec.ShapeTotal(t)
+		total += w.Float64()
+		cum = append(cum, total)
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	r := ranges[searchFloat(cum, rng.Float64()*total)]
+	tc := rec.SampleRange(rng, r[0], r[1])
+	return s.urn.materialize(v, tc, rng)
+}

@@ -1,0 +1,254 @@
+// Package sample implements motivo's sampling phase (paper, Sections 2.2,
+// 3.2 and 4): the treelet count table acts as an abstract urn from which
+// colorful k-treelet copies are drawn uniformly at random; the induced
+// subgraph on the sampled nodes, canonicalized, is the graphlet occurrence.
+//
+// Two urn interfaces are provided, mirroring the paper:
+//
+//   - Urn.Sample draws a uniform colorful k-treelet copy (the CC/naive
+//     primitive sample()): root node by the alias method, colored treelet
+//     within the root's record, then a recursive descent that splits the
+//     treelet by its canonical decomposition at every level.
+//   - ShapeUrn restricts draws to one unrooted k-treelet shape T — the
+//     sample(T) primitive AGS is built on (Section 4).
+//
+// Neighbor buffering (Section 3.2) is implemented exactly as described:
+// when the child node must be chosen among the neighbors of a node with
+// degree ≥ BufferThreshold, one sweep draws BufferSize i.i.d. choices and
+// caches the unused ones for future requests, so high-degree nodes are
+// swept only a fraction of the time.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alias"
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/table"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// Urn draws uniform colorful k-treelet occurrences and their induced
+// graphlets. It is not safe for concurrent use; create one Urn per
+// goroutine over the same (read-only) table.
+type Urn struct {
+	G   *graph.Graph
+	Col *coloring.Coloring
+	Tab *table.Table
+	Cat *treelet.Catalog
+	K   int
+
+	// BufferThreshold is the degree at which neighbor buffering kicks in
+	// (paper: 10^4); BufferSize is how many choices one sweep produces
+	// (paper: 100).
+	BufferThreshold int
+	BufferSize      int
+
+	roots     []int32
+	rootAlias *alias.Table
+	total     u128.Uint128
+
+	buffers    map[bufKey][]childChoice
+	canonCache map[graphlet.Code]graphlet.Code
+
+	// Stats observable by experiments.
+	Sweeps     int64 // neighbor sweeps performed
+	BufferHits int64 // child choices served from a buffer
+}
+
+type bufKey struct {
+	v  int32
+	tc treelet.Colored
+}
+
+type childChoice struct {
+	u   int32
+	cpp treelet.Colored
+}
+
+// NewUrn prepares the urn: the alias table over root nodes weighted by
+// occ(v) (built in O(n), Section 3.3) and the total treelet count t.
+func NewUrn(g *graph.Graph, col *coloring.Coloring, tab *table.Table, cat *treelet.Catalog) (*Urn, error) {
+	k := tab.K
+	if cat.K < k {
+		return nil, fmt.Errorf("sample: catalog k=%d < table k=%d", cat.K, k)
+	}
+	u := &Urn{
+		G: g, Col: col, Tab: tab, Cat: cat, K: k,
+		BufferThreshold: 10000,
+		BufferSize:      100,
+		buffers:         make(map[bufKey][]childChoice),
+		canonCache:      make(map[graphlet.Code]graphlet.Code),
+	}
+	weights := make([]float64, 0, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		t := tab.Rec(k, int32(v)).Total()
+		if !t.IsZero() {
+			u.roots = append(u.roots, int32(v))
+			weights = append(weights, t.Float64())
+		}
+		u.total = u.total.Add(t)
+	}
+	u.rootAlias = alias.New(weights)
+	return u, nil
+}
+
+// Total returns t, the number of colorful k-treelet copies in the urn.
+// Without 0-rooting every copy is counted k times; Total corrects for that
+// so it always reports distinct copies.
+func (u *Urn) Total() u128.Uint128 {
+	if u.Tab.ZeroRooted {
+		return u.total
+	}
+	q, _ := u.total.QuoRem64(uint64(u.K))
+	return q
+}
+
+// Empty reports whether the urn holds no colorful k-treelets (possible on
+// unlucky colorings of tiny graphs).
+func (u *Urn) Empty() bool { return u.rootAlias == nil }
+
+// Sample draws one uniform colorful k-treelet copy and returns the
+// canonical code of the induced graphlet plus the sampled nodes. The node
+// slice is reused across calls; copy it to retain.
+func (u *Urn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
+	if u.Empty() {
+		panic("sample: urn is empty")
+	}
+	v := u.roots[u.rootAlias.Next(rng)]
+	tc := u.Tab.Rec(u.K, v).Sample(rng)
+	return u.materialize(v, tc, rng)
+}
+
+// materialize expands a rooted colored treelet choice at v into a concrete
+// copy and canonicalizes its induced subgraph.
+func (u *Urn) materialize(v int32, tc treelet.Colored, rng *rand.Rand) (graphlet.Code, []int32) {
+	nodes := make([]int32, 0, u.K)
+	u.sampleCopy(v, tc, rng, &nodes)
+	return u.Induced(nodes), nodes
+}
+
+// sampleCopy recursively samples a uniform copy of tc rooted at v,
+// appending the copy's nodes to out.
+func (u *Urn) sampleCopy(v int32, tc treelet.Colored, rng *rand.Rand, out *[]int32) {
+	if tc.Tree() == treelet.Leaf {
+		*out = append(*out, v)
+		return
+	}
+	ch := u.chooseChild(v, tc, rng)
+	tp := u.Cat.Rest(tc.Tree())
+	cp := treelet.MakeColored(tp, tc.Colors()&^ch.cpp.Colors())
+	u.sampleCopy(v, cp, rng, out)
+	u.sampleCopy(ch.u, ch.cpp, rng, out)
+}
+
+// chooseChild picks the child node u ~ v and the colored first-child part
+// (T”_C”) with probability proportional to
+// c(T”_C”, u) · c(T'_{C\C”}, v), which makes every copy of tc at v
+// equally likely (each copy has exactly β_T generating choices).
+func (u *Urn) chooseChild(v int32, tc treelet.Colored, rng *rand.Rand) childChoice {
+	key := bufKey{v, tc}
+	if buf := u.buffers[key]; len(buf) > 0 {
+		ch := buf[len(buf)-1]
+		u.buffers[key] = buf[:len(buf)-1]
+		u.BufferHits++
+		return ch
+	}
+	tree := tc.Tree()
+	tpp := u.Cat.FirstChild(tree)
+	tp := u.Cat.Rest(tree)
+	hpp, hp := tpp.Size(), tp.Size()
+	C := tc.Colors()
+	rv := u.Tab.Rec(hp, v)
+
+	u.Sweeps++
+	var cands []childChoice
+	var cum []float64
+	total := 0.0
+	for _, w := range u.G.Neighbors(v) {
+		ru := u.Tab.Rec(hpp, w)
+		if ru.Len() == 0 {
+			continue
+		}
+		lo, hi := ru.ShapeRange(tpp)
+		for i := lo; i < hi; i++ {
+			cpp, cu := ru.At(i)
+			cs := cpp.Colors()
+			if cs&C != cs { // C'' must be a subset of C
+				continue
+			}
+			cp := treelet.MakeColored(tp, C&^cs)
+			cv := rv.Count(cp)
+			if cv.IsZero() {
+				continue
+			}
+			total += cv.Float64() * cu.Float64()
+			cands = append(cands, childChoice{w, cpp})
+			cum = append(cum, total)
+		}
+	}
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("sample: no child choice for treelet %v at node %d (corrupt table?)", tc, v))
+	}
+	draws := 1
+	if u.G.Degree(v) >= u.BufferThreshold {
+		draws = u.BufferSize
+	}
+	picks := make([]childChoice, draws)
+	for d := range picks {
+		r := rng.Float64() * total
+		picks[d] = cands[searchFloat(cum, r)]
+	}
+	if draws > 1 {
+		u.buffers[key] = picks[:draws-1]
+	}
+	return picks[draws-1]
+}
+
+// searchFloat returns the first index with cum[i] > r (clamped to the last
+// index to be safe against floating-point edge effects).
+func searchFloat(cum []float64, r float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Induced returns the canonical code of the subgraph induced by nodes,
+// memoizing canonicalizations (sampled graphlets repeat heavily; this is
+// our stand-in for Nauty being fast).
+func (u *Urn) Induced(nodes []int32) graphlet.Code {
+	var raw graphlet.Code
+	k := len(nodes)
+	raw = codeOf(u.G, nodes)
+	if canon, ok := u.canonCache[raw]; ok {
+		return canon
+	}
+	canon := graphlet.Canonical(k, raw)
+	u.canonCache[raw] = canon
+	return canon
+}
+
+// codeOf packs the induced adjacency of nodes into a raw (uncanonicalized)
+// code using O(k² log δ) edge-membership queries.
+func codeOf(g *graph.Graph, nodes []int32) graphlet.Code {
+	var edges [][2]int
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if g.HasEdge(nodes[i], nodes[j]) {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return graphlet.FromEdges(len(nodes), edges)
+}

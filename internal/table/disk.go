@@ -1,0 +1,164 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// This file implements the greedy flushing strategy of Section 3.1: while a
+// size-h pass runs, each completed record is immediately serialized to a
+// spill file and its memory released; when the pass finishes, the spill is
+// re-read to serve as input for the next pass. (The paper writes unsorted
+// records and sorts them in a second I/O pass; our records are sorted at
+// flush time — the FromMap sort — so the second pass is a pure sequential
+// reload, playing the role of the paper's memory-mapped reads.)
+
+// DiskStore spills per-node records of one size level to a file.
+type DiskStore struct {
+	f       *os.File
+	w       *bufio.Writer
+	offsets []int64 // offsets[v] = file offset of v's record, -1 if empty
+	pos     int64
+}
+
+// NewDiskStore creates a spill file for n nodes inside dir (or the default
+// temp dir if dir is empty).
+func NewDiskStore(dir string, n int) (*DiskStore, error) {
+	f, err := os.CreateTemp(dir, "motivo-table-*.spill")
+	if err != nil {
+		return nil, err
+	}
+	offs := make([]int64, n)
+	for i := range offs {
+		offs[i] = -1
+	}
+	return &DiskStore{f: f, w: bufio.NewWriterSize(f, 1<<20), offsets: offs}, nil
+}
+
+// Flush appends the record of node v to the spill file and returns an empty
+// record so the caller can release the in-memory copy.
+func (d *DiskStore) Flush(v int32, r Record) error {
+	if r.Len() == 0 {
+		return nil
+	}
+	d.offsets[v] = d.pos
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(r.Len()))
+	if _, err := d.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 24*r.Len())
+	for i, k := range r.Keys {
+		binary.LittleEndian.PutUint64(buf[24*i:], uint64(k))
+		binary.LittleEndian.PutUint64(buf[24*i+8:], r.Cum[i].Lo)
+		binary.LittleEndian.PutUint64(buf[24*i+16:], r.Cum[i].Hi)
+	}
+	if _, err := d.w.Write(buf); err != nil {
+		return err
+	}
+	d.pos += int64(4 + len(buf))
+	return nil
+}
+
+// Load reads back the record of node v (an empty record if v was never
+// flushed).
+func (d *DiskStore) Load(v int32) (Record, error) {
+	off := d.offsets[v]
+	if off < 0 {
+		return Record{}, nil
+	}
+	if err := d.w.Flush(); err != nil {
+		return Record{}, err
+	}
+	var hdr [4]byte
+	if _, err := d.f.ReadAt(hdr[:], off); err != nil {
+		return Record{}, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	buf := make([]byte, 24*n)
+	if _, err := d.f.ReadAt(buf, off+4); err != nil {
+		return Record{}, err
+	}
+	r := Record{Keys: make([]treelet.Colored, n), Cum: make([]u128.Uint128, n)}
+	for i := 0; i < n; i++ {
+		r.Keys[i] = treelet.Colored(binary.LittleEndian.Uint64(buf[24*i:]))
+		r.Cum[i].Lo = binary.LittleEndian.Uint64(buf[24*i+8:])
+		r.Cum[i].Hi = binary.LittleEndian.Uint64(buf[24*i+16:])
+	}
+	return r, nil
+}
+
+// LoadAll reloads every record into a size-level slice (the sequential
+// second pass).
+func (d *DiskStore) LoadAll() ([]Record, error) {
+	if err := d.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(d.f, 1<<20)
+	recs := make([]Record, len(d.offsets))
+	// Records were written in flush order; reconstruct by walking offsets
+	// in file order.
+	type ent struct {
+		v   int32
+		off int64
+	}
+	var order []ent
+	for v, off := range d.offsets {
+		if off >= 0 {
+			order = append(order, ent{int32(v), off})
+		}
+	}
+	// Offsets are increasing in flush order but flush order is arbitrary;
+	// sort by offset for one sequential scan.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].off < order[j-1].off; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	pos := int64(0)
+	for _, e := range order {
+		if e.off != pos {
+			return nil, fmt.Errorf("table: spill corruption: offset %d != pos %d", e.off, pos)
+		}
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := int(binary.LittleEndian.Uint32(hdr[:]))
+		buf := make([]byte, 24*n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		r := Record{Keys: make([]treelet.Colored, n), Cum: make([]u128.Uint128, n)}
+		for i := 0; i < n; i++ {
+			r.Keys[i] = treelet.Colored(binary.LittleEndian.Uint64(buf[24*i:]))
+			r.Cum[i].Lo = binary.LittleEndian.Uint64(buf[24*i+8:])
+			r.Cum[i].Hi = binary.LittleEndian.Uint64(buf[24*i+16:])
+		}
+		recs[e.v] = r
+		pos += int64(4 + 24*n)
+	}
+	return recs, nil
+}
+
+// Size returns the current spill file size in bytes.
+func (d *DiskStore) Size() int64 { return d.pos }
+
+// Close removes the spill file.
+func (d *DiskStore) Close() error {
+	name := d.f.Name()
+	if err := d.f.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Remove(name)
+}

@@ -1,0 +1,127 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// Serialization of a complete count table. Motivo persists its treelet
+// count tables (and the σ_ij caches) on disk so the expensive build-up
+// phase can be reused across sampling sessions (Section 3.3); this is that
+// format: a header, then for every size level and node the sorted record
+// as (key, cumulative count) pairs, little-endian.
+
+const tableMagic = uint32(0x4d765431) // "MvT1"
+
+// WriteTo serializes the table. It returns the number of bytes written.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var n int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		m, err := bw.Write(buf[:])
+		n += int64(m)
+		return err
+	}
+	zr := uint64(0)
+	if t.ZeroRooted {
+		zr = 1
+	}
+	for _, h := range []uint64{uint64(tableMagic), uint64(t.K), uint64(t.N), zr} {
+		if err := put(h); err != nil {
+			return n, err
+		}
+	}
+	for h := 1; h <= t.K; h++ {
+		for v := 0; v < t.N; v++ {
+			rec := &t.Recs[h][v]
+			if err := put(uint64(rec.Len())); err != nil {
+				return n, err
+			}
+			for i := range rec.Keys {
+				if err := put(uint64(rec.Keys[i])); err != nil {
+					return n, err
+				}
+				if err := put(rec.Cum[i].Lo); err != nil {
+					return n, err
+				}
+				if err := put(rec.Cum[i].Hi); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTable deserializes a table written by WriteTo.
+func ReadTable(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(magic) != tableMagic {
+		return nil, fmt.Errorf("table: bad magic %#x", magic)
+	}
+	k64, err := get()
+	if err != nil {
+		return nil, err
+	}
+	n64, err := get()
+	if err != nil {
+		return nil, err
+	}
+	zr, err := get()
+	if err != nil {
+		return nil, err
+	}
+	k, n := int(k64), int(n64)
+	if k < 1 || k > treelet.MaxK || n < 0 {
+		return nil, fmt.Errorf("table: implausible header k=%d n=%d", k, n)
+	}
+	t := New(n, k, zr == 1)
+	for h := 1; h <= k; h++ {
+		for v := 0; v < n; v++ {
+			ln, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if ln == 0 {
+				continue
+			}
+			rec := Record{
+				Keys: make([]treelet.Colored, ln),
+				Cum:  make([]u128.Uint128, ln),
+			}
+			for i := range rec.Keys {
+				kk, err := get()
+				if err != nil {
+					return nil, err
+				}
+				rec.Keys[i] = treelet.Colored(kk)
+				if rec.Cum[i].Lo, err = get(); err != nil {
+					return nil, err
+				}
+				if rec.Cum[i].Hi, err = get(); err != nil {
+					return nil, err
+				}
+			}
+			t.Recs[h][v] = rec
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+func TestTableSerializationRoundTrip(t *testing.T) {
+	tab := New(4, 3, true)
+	tab.Recs[1][0] = FromMap(map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(treelet.Leaf, 0b001): u128.One,
+	})
+	edge := treelet.FromParents([]int{0, 0})
+	tab.Recs[2][1] = FromMap(map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(edge, 0b011): u128.From64(7),
+		treelet.MakeColored(edge, 0b101): {Hi: 3, Lo: 9},
+	})
+	tab.Recs[3][2] = FromMap(map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(treelet.FromParents([]int{0, 0, 1}), 0b111): u128.From64(2),
+	})
+
+	var buf bytes.Buffer
+	n, err := tab.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	got, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != tab.K || got.N != tab.N || got.ZeroRooted != tab.ZeroRooted {
+		t.Fatal("header mismatch")
+	}
+	for h := 1; h <= tab.K; h++ {
+		for v := 0; v < tab.N; v++ {
+			a, b := &tab.Recs[h][v], &got.Recs[h][v]
+			if a.Len() != b.Len() {
+				t.Fatalf("h=%d v=%d length mismatch", h, v)
+			}
+			for i := 0; i < a.Len(); i++ {
+				ka, ca := a.At(i)
+				kb, cb := b.At(i)
+				if ka != kb || ca != cb {
+					t.Fatalf("h=%d v=%d entry %d mismatch", h, v, i)
+				}
+			}
+		}
+	}
+	if got.TotalK() != tab.TotalK() {
+		t.Error("TotalK changed across serialization")
+	}
+}
+
+func TestReadTableRejectsGarbage(t *testing.T) {
+	if _, err := ReadTable(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("bad magic must fail")
+	}
+	if _, err := ReadTable(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input must fail")
+	}
+	// Plausible magic but absurd k.
+	var buf bytes.Buffer
+	tab := New(1, 2, false)
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 0xFF // k field
+	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
+		t.Error("implausible k must fail")
+	}
+}

@@ -1,0 +1,185 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+func sampleMap() map[treelet.Colored]u128.Uint128 {
+	edge := treelet.FromParents([]int{0, 0})
+	path3 := treelet.FromParents([]int{0, 0, 1})
+	star3 := treelet.FromParents([]int{0, 0, 0})
+	return map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(edge, 0b0011):  u128.From64(5),
+		treelet.MakeColored(edge, 0b0101):  u128.From64(2),
+		treelet.MakeColored(path3, 0b0111): u128.From64(7),
+		treelet.MakeColored(star3, 0b0111): u128.From64(1),
+	}
+}
+
+func TestFromMapSortedCumulative(t *testing.T) {
+	r := FromMap(sampleMap())
+	if r.Len() != 4 {
+		t.Fatalf("len %d", r.Len())
+	}
+	for i := 1; i < r.Len(); i++ {
+		if r.Keys[i-1] >= r.Keys[i] {
+			t.Fatal("keys not strictly sorted")
+		}
+		if r.Cum[i].Cmp(r.Cum[i-1]) <= 0 {
+			t.Fatal("cumulative not increasing")
+		}
+	}
+	if r.Total() != u128.From64(15) {
+		t.Errorf("total %v", r.Total())
+	}
+}
+
+func TestCountLookup(t *testing.T) {
+	m := sampleMap()
+	r := FromMap(m)
+	for key, want := range m {
+		if got := r.Count(key); got != want {
+			t.Errorf("Count(%v) = %v, want %v", key, got, want)
+		}
+	}
+	absent := treelet.MakeColored(treelet.Leaf, 0b1)
+	if !r.Count(absent).IsZero() {
+		t.Error("absent key should count 0")
+	}
+}
+
+func TestEmptyRecord(t *testing.T) {
+	var r Record
+	if r.Len() != 0 || !r.Total().IsZero() {
+		t.Fatal("zero record should be empty")
+	}
+	if e := FromMap(nil); e.Len() != 0 {
+		t.Fatal("FromMap(nil) should be empty")
+	}
+}
+
+func TestShapeRangeAndTotal(t *testing.T) {
+	r := FromMap(sampleMap())
+	edge := treelet.FromParents([]int{0, 0})
+	lo, hi := r.ShapeRange(edge)
+	if hi-lo != 2 {
+		t.Fatalf("edge range size %d, want 2", hi-lo)
+	}
+	if got := r.ShapeTotal(edge); got != u128.From64(7) {
+		t.Errorf("edge shape total %v, want 7", got)
+	}
+	star3 := treelet.FromParents([]int{0, 0, 0})
+	if got := r.ShapeTotal(star3); got != u128.From64(1) {
+		t.Errorf("star3 shape total %v", got)
+	}
+	if got := r.ShapeTotal(treelet.FromParents([]int{0, 0, 1, 2})); !got.IsZero() {
+		t.Errorf("absent shape total %v", got)
+	}
+}
+
+func TestSampleProportional(t *testing.T) {
+	r := FromMap(sampleMap())
+	rng := rand.New(rand.NewSource(17))
+	counts := make(map[treelet.Colored]int)
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		counts[r.Sample(rng)]++
+	}
+	total := r.Total().Float64()
+	for key, want := range sampleMap() {
+		got := float64(counts[key]) / draws
+		expect := want.Float64() / total
+		if got < expect-0.02 || got > expect+0.02 {
+			t.Errorf("key %v drawn with freq %.4f, want %.4f", key, got, expect)
+		}
+	}
+}
+
+func TestSampleRangeRestricted(t *testing.T) {
+	r := FromMap(sampleMap())
+	edge := treelet.FromParents([]int{0, 0})
+	lo, hi := r.ShapeRange(edge)
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 1000; i++ {
+		k := r.SampleRange(rng, lo, hi)
+		if k.Tree() != edge {
+			t.Fatalf("restricted sample escaped the shape: %v", k.Tree())
+		}
+	}
+}
+
+func TestSamplePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var r Record
+	r.Sample(rand.New(rand.NewSource(1)))
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	ds, err := NewDiskStore(t.TempDir(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	r0 := FromMap(sampleMap())
+	if err := ds.Flush(0, r0); err != nil {
+		t.Fatal(err)
+	}
+	r3 := FromMap(map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(treelet.Leaf, 0b1): {Hi: 2, Lo: 3},
+	})
+	if err := ds.Flush(3, r3); err != nil {
+		t.Fatal(err)
+	}
+	got0, err := ds.Load(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0.Len() != r0.Len() || got0.Total() != r0.Total() {
+		t.Fatal("record 0 round trip failed")
+	}
+	got1, err := ds.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Len() != 0 {
+		t.Fatal("unflushed record should load empty")
+	}
+	all, err := ds.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 || all[0].Len() != r0.Len() || all[3].Total() != r3.Total() || all[2].Len() != 0 {
+		t.Fatal("LoadAll mismatch")
+	}
+	// 128-bit counts survive.
+	if all[3].Cum[0] != (u128.Uint128{Hi: 2, Lo: 3}) {
+		t.Fatalf("hi bits lost: %v", all[3].Cum[0])
+	}
+	if ds.Size() == 0 {
+		t.Error("spill size should be positive")
+	}
+}
+
+func TestTableAccounting(t *testing.T) {
+	tab := New(3, 2, true)
+	tab.Recs[2][0] = FromMap(map[treelet.Colored]u128.Uint128{
+		treelet.MakeColored(treelet.FromParents([]int{0, 0}), 0b11): u128.From64(4),
+	})
+	if tab.TotalK() != u128.From64(4) {
+		t.Errorf("TotalK = %v", tab.TotalK())
+	}
+	if tab.Pairs() != 1 {
+		t.Errorf("Pairs = %d", tab.Pairs())
+	}
+	if tab.Bytes() != 24 {
+		t.Errorf("Bytes = %d", tab.Bytes())
+	}
+}

@@ -1,0 +1,99 @@
+package treelet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog pre-enumerates every canonical rooted treelet on up to k nodes
+// and caches the decomposition data the dynamic program needs in its inner
+// loop: the first-child code, the remainder code, and βT. It also maps each
+// size-k rooted shape to its unrooted canonical form, the grouping AGS
+// samples by.
+type Catalog struct {
+	K int
+	// BySize[s] lists canonical treelets of size s in increasing code order.
+	BySize [][]Treelet
+
+	firstChild map[Treelet]Treelet
+	rest       map[Treelet]Treelet
+	beta       map[Treelet]int
+	unrooted   map[Treelet]Treelet
+	rootings   map[Treelet][]Treelet
+
+	// UnrootedK lists the distinct unrooted canonical k-treelet shapes in
+	// increasing code order (e.g. 1 for k=2..3, 2 for k=4, 3 for k=5, 6 for
+	// k=6 — the free trees, OEIS A000055).
+	UnrootedK []Treelet
+}
+
+// NewCatalog enumerates all treelets for the given k (2 ≤ k ≤ MaxK).
+func NewCatalog(k int) *Catalog {
+	if k < 1 || k > MaxK {
+		panic(fmt.Sprintf("treelet: catalog k=%d out of range [1,%d]", k, MaxK))
+	}
+	c := &Catalog{
+		K:          k,
+		BySize:     make([][]Treelet, k+1),
+		firstChild: make(map[Treelet]Treelet),
+		rest:       make(map[Treelet]Treelet),
+		beta:       make(map[Treelet]int),
+		unrooted:   make(map[Treelet]Treelet),
+		rootings:   make(map[Treelet][]Treelet),
+	}
+	c.BySize[1] = []Treelet{Leaf}
+	for s := 2; s <= k; s++ {
+		var ts []Treelet
+		for spp := 1; spp < s; spp++ {
+			sp := s - spp
+			for _, tpp := range c.BySize[spp] {
+				for _, tp := range c.BySize[sp] {
+					if CanMerge(tp, tpp) {
+						ts = append(ts, Merge(tp, tpp))
+					}
+				}
+			}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		c.BySize[s] = ts
+		for _, t := range ts {
+			first, rest := t.Decomp()
+			c.firstChild[t] = first
+			c.rest[t] = rest
+			c.beta[t] = t.Beta()
+		}
+	}
+	seen := make(map[Treelet]bool)
+	for _, t := range c.BySize[k] {
+		u := UnrootedCanonical(t)
+		c.unrooted[t] = u
+		c.rootings[u] = append(c.rootings[u], t)
+		if !seen[u] {
+			seen[u] = true
+			c.UnrootedK = append(c.UnrootedK, u)
+		}
+	}
+	sort.Slice(c.UnrootedK, func(i, j int) bool { return c.UnrootedK[i] < c.UnrootedK[j] })
+	return c
+}
+
+// FirstChild returns the first-child part T” of t's canonical
+// decomposition. The catalog must contain t.
+func (c *Catalog) FirstChild(t Treelet) Treelet { return c.firstChild[t] }
+
+// Rest returns the remainder part T' of t's canonical decomposition.
+func (c *Catalog) Rest(t Treelet) Treelet { return c.rest[t] }
+
+// Beta returns βT.
+func (c *Catalog) Beta(t Treelet) int { return c.beta[t] }
+
+// Unrooted returns the unrooted canonical shape of a size-k rooted treelet.
+func (c *Catalog) Unrooted(t Treelet) Treelet { return c.unrooted[t] }
+
+// NumRooted returns the number of canonical rooted treelets of size s.
+func (c *Catalog) NumRooted(s int) int { return len(c.BySize[s]) }
+
+// Rootings returns the size-k rooted treelet codes whose unrooted canonical
+// form is u, in increasing code order. AGS uses this to restrict the urn to
+// one unrooted shape.
+func (c *Catalog) Rootings(u Treelet) []Treelet { return c.rootings[u] }

@@ -1,0 +1,51 @@
+package treelet
+
+import "math/bits"
+
+// ColorSet is a subset of the k ≤ 16 colors as a characteristic bit vector
+// (paper, Section 3.1): union is OR, intersection is AND.
+type ColorSet uint16
+
+// Singleton returns the set {c}.
+func Singleton(c uint8) ColorSet { return 1 << c }
+
+// Card returns the number of colors in the set.
+func (s ColorSet) Card() int { return bits.OnesCount16(uint16(s)) }
+
+// Disjoint reports whether s and t share no color.
+func (s ColorSet) Disjoint(t ColorSet) bool { return s&t == 0 }
+
+// Union returns s ∪ t.
+func (s ColorSet) Union(t ColorSet) ColorSet { return s | t }
+
+// Has reports whether color c is in the set.
+func (s ColorSet) Has(c uint8) bool { return s&(1<<c) != 0 }
+
+// Colored packs a colored rooted treelet (T, C) into one word: the treelet
+// code in the high 32 bits (only 30 used) and the color characteristic
+// vector in the low 16 bits — 46 significant bits, as in the paper. The
+// integer order over Colored values sorts first by treelet, then by color
+// set, which is the key order of the count table: all colorings of the same
+// shape are contiguous in a record.
+type Colored uint64
+
+// MakeColored packs t and its color set.
+func MakeColored(t Treelet, cs ColorSet) Colored {
+	return Colored(t)<<16 | Colored(cs)
+}
+
+// Tree returns the treelet part.
+func (c Colored) Tree() Treelet { return Treelet(c >> 16) }
+
+// Colors returns the color-set part.
+func (c Colored) Colors() ColorSet { return ColorSet(c & 0xFFFF) }
+
+// Size returns the number of nodes (= number of colors, since only colorful
+// treelets are stored).
+func (c Colored) Size() int { return c.Tree().Size() }
+
+// MergeColored combines colored parts (T', C') and (T”, C”); callers must
+// have checked CanMerge on the shapes and disjointness of the color sets.
+func MergeColored(cp, cpp Colored) Colored {
+	return MakeColored(Merge(cp.Tree(), cpp.Tree()), cp.Colors()|cpp.Colors())
+}

@@ -1,0 +1,264 @@
+// Package treelet implements motivo's succinct rooted-treelet encoding
+// (paper, Section 3.1).
+//
+// A rooted treelet T on at most 16 nodes is encoded as the bitstring of its
+// DFS traversal: the i-th bit is 1 if the i-th edge traversal moves away
+// from the root and 0 if it moves towards it (a balanced-parentheses
+// string). For k ≤ 16 the string has at most 30 bits and fits in a uint32.
+// We keep it MSB-aligned so that integer comparison of codes is the
+// lexicographic comparison of the strings, which doubles as the total order
+// over treelets used by the dynamic program.
+//
+// Canonical form: the children of every node appear in non-decreasing order
+// of their subtree codes. Consequently
+//
+//   - the unique decomposition of T (Section 2.1) detaches the FIRST child
+//     subtree T” of the root, leaving T' (both again canonical);
+//   - Merge(T', T”) re-attaches T” as a new first child — the pure bit
+//     concatenation 1·s(T”)·0·s(T') — and yields a canonical tree exactly
+//     when code(T”) ≤ code(firstChild(T')), the paper's "T” comes before
+//     the smallest subtree of T'" check;
+//   - βT (the sub() operation) is the multiplicity of the first child
+//     subtree among the root's children.
+//
+// The size of a treelet is recoverable as popcount+1 (each 1-bit is a
+// distinct edge), so no length field is stored and all operations reduce to
+// a few shift/mask/popcount instructions, as in the paper.
+package treelet
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxK is the largest supported treelet size. The encoding itself allows 16;
+// we cap at 11 because graphlet codes (k(k-1)/2 bits) and the experiment
+// range of the paper (k ≤ 9) need no more.
+const MaxK = 11
+
+// Treelet is a canonical rooted treelet code. The zero value is the
+// single-node treelet.
+type Treelet uint32
+
+// Leaf is the single-node treelet.
+const Leaf Treelet = 0
+
+// Size returns the number of vertices of t.
+func (t Treelet) Size() int { return bits.OnesCount32(uint32(t)) + 1 }
+
+// bitLen returns the length of the encoding string in bits.
+func (t Treelet) bitLen() int { return 2 * bits.OnesCount32(uint32(t)) }
+
+// Merge attaches tpp as a new first child of the root of tp:
+// the string 1 · s(tpp) · 0 · s(tp). The result is canonical iff
+// CanMerge(tp, tpp).
+func Merge(tp, tpp Treelet) Treelet {
+	return 1<<31 | tpp>>1 | tp>>(2+tpp.bitLen())
+}
+
+// CanMerge reports whether Merge(tp, tpp) yields a canonical treelet, i.e.
+// tpp does not come after the first child of tp in the total order.
+func CanMerge(tp, tpp Treelet) bool {
+	if tp == Leaf {
+		return true
+	}
+	first, _ := tp.Decomp()
+	return tpp <= first
+}
+
+// Decomp splits t into its first child subtree tpp and the remainder tp
+// (t's root with the first child removed); it is the inverse of Merge.
+// Decomp panics on the leaf, which has no decomposition.
+func (t Treelet) Decomp() (tpp, tp Treelet) {
+	if t == Leaf {
+		panic("treelet: Decomp on single-node treelet")
+	}
+	// Scan for the position where the parenthesis depth returns to zero:
+	// that closing 0 ends the first child subtree.
+	depth := 0
+	for i := 0; i < 32; i++ {
+		if t&(1<<(31-i)) != 0 {
+			depth++
+		} else {
+			depth--
+		}
+		if depth == 0 {
+			childLen := i - 1
+			tpp = (t << 1) & mask(childLen)
+			tp = t << (i + 1)
+			return tpp, tp
+		}
+	}
+	panic("treelet: corrupt encoding (unbalanced)")
+}
+
+// mask returns a uint32 with the top n bits set.
+func mask(n int) Treelet {
+	if n <= 0 {
+		return 0
+	}
+	return Treelet(^uint32(0) << (32 - n))
+}
+
+// Beta returns βT of Eq. (1): the number of subtrees of t isomorphic to the
+// decomposition part T” that are rooted at a child of t's root. With
+// canonical child order this is the multiplicity of the first child.
+func (t Treelet) Beta() int {
+	first, rest := t.Decomp()
+	beta := 1
+	for rest != Leaf {
+		c, r := rest.Decomp()
+		if c != first {
+			break
+		}
+		beta++
+		rest = r
+	}
+	return beta
+}
+
+// RootDegree returns the number of children of the root.
+func (t Treelet) RootDegree() int {
+	d := 0
+	for t != Leaf {
+		_, t = t.Decomp()
+		d++
+	}
+	return d
+}
+
+// Children returns the child subtrees of the root in canonical
+// (non-decreasing) order.
+func (t Treelet) Children() []Treelet {
+	var cs []Treelet
+	for t != Leaf {
+		var c Treelet
+		c, t = t.Decomp()
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// Valid reports whether t is a canonical encoding: balanced, within MaxK
+// nodes, and with children in canonical order at every level.
+func (t Treelet) Valid() bool {
+	if t == Leaf {
+		return true
+	}
+	if t.Size() > MaxK {
+		return false
+	}
+	// Balance check over the declared length; all trailing bits must be 0.
+	L := t.bitLen()
+	if uint32(t)<<L != 0 && L < 32 {
+		return false
+	}
+	depth := 0
+	for i := 0; i < L; i++ {
+		if t&(1<<(31-i)) != 0 {
+			depth++
+		} else {
+			depth--
+		}
+		if depth < 0 {
+			return false
+		}
+	}
+	if depth != 0 {
+		return false
+	}
+	// Recursive canonical-order check.
+	var prev Treelet
+	rest := t
+	firstIter := true
+	for rest != Leaf {
+		c, r := rest.Decomp()
+		if !c.Valid() {
+			return false
+		}
+		if !firstIter && c < prev {
+			return false
+		}
+		prev, rest, firstIter = c, r, false
+	}
+	return true
+}
+
+// String renders t as a nested-parentheses expression, e.g. the 3-star is
+// "(()())" — handy in tests and debug output.
+func (t Treelet) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	L := t.bitLen()
+	for i := 0; i < L; i++ {
+		if t&(1<<(31-i)) != 0 {
+			b.WriteByte('(')
+		} else {
+			b.WriteByte(')')
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// FromParents builds the canonical code of the rooted tree given by a
+// parent array: parent[0] is ignored (node 0 is the root), parent[i] < i.
+// It panics if the input is not a valid tree on ≤ MaxK nodes.
+func FromParents(parent []int) Treelet {
+	n := len(parent)
+	if n == 0 || n > MaxK {
+		panic(fmt.Sprintf("treelet: FromParents size %d out of range", n))
+	}
+	children := make([][]int, n)
+	for i := 1; i < n; i++ {
+		p := parent[i]
+		if p < 0 || p >= i {
+			panic(fmt.Sprintf("treelet: bad parent[%d]=%d", i, p))
+		}
+		children[p] = append(children[p], i)
+	}
+	var encode func(v int) Treelet
+	encode = func(v int) Treelet {
+		codes := make([]Treelet, 0, len(children[v]))
+		for _, c := range children[v] {
+			codes = append(codes, encode(c))
+		}
+		// Insertion sort ascending: children in canonical order.
+		for i := 1; i < len(codes); i++ {
+			for j := i; j > 0 && codes[j] < codes[j-1]; j-- {
+				codes[j], codes[j-1] = codes[j-1], codes[j]
+			}
+		}
+		// Build by merging from the largest child down so each Merge
+		// prepends a child no larger than the current first.
+		t := Leaf
+		for i := len(codes) - 1; i >= 0; i-- {
+			t = Merge(t, codes[i])
+		}
+		return t
+	}
+	return encode(0)
+}
+
+// adjacency reconstructs the rooted tree of t as a children list with the
+// root at index 0 and nodes numbered in DFS order.
+func (t Treelet) adjacency() [][]int {
+	n := t.Size()
+	children := make([][]int, n)
+	// Parse the parenthesis string.
+	stack := []int{0}
+	next := 1
+	L := t.bitLen()
+	for i := 0; i < L; i++ {
+		if t&(1<<(31-i)) != 0 {
+			cur := stack[len(stack)-1]
+			children[cur] = append(children[cur], next)
+			stack = append(stack, next)
+			next++
+		} else {
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return children
+}

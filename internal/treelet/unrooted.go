@@ -1,0 +1,110 @@
+package treelet
+
+// UnrootedCanonical maps a rooted treelet to the canonical code of its
+// underlying unrooted tree: the tree is re-rooted at its centroid (taking
+// the smaller code when there are two centroids). Two rooted treelets have
+// the same UnrootedCanonical iff they are isomorphic as unrooted trees.
+//
+// AGS (Section 4) works with unrooted k-treelet shapes T_j — the spanning
+// trees of graphlets — while the count table stores rooted codes; this is
+// the bridge between the two.
+func UnrootedCanonical(t Treelet) Treelet {
+	if t.Size() <= 2 {
+		return t // single node and single edge are symmetric
+	}
+	children := t.adjacency()
+	n := t.Size()
+	adj := make([][]int, n)
+	for p, cs := range children {
+		for _, c := range cs {
+			adj[p] = append(adj[p], c)
+			adj[c] = append(adj[c], p)
+		}
+	}
+	best := Treelet(^uint32(0))
+	for _, c := range centroids(adj) {
+		code := encodeRootedAt(adj, c)
+		if code < best {
+			best = code
+		}
+	}
+	return best
+}
+
+// centroids returns the 1 or 2 centroids of the tree.
+func centroids(adj [][]int) []int {
+	n := len(adj)
+	if n == 1 {
+		return []int{0}
+	}
+	size := make([]int, n)
+	// Iterative post-order from node 0 to get subtree sizes.
+	type frame struct{ v, parent int }
+	order := make([]frame, 0, n)
+	stack := []frame{{0, -1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, f)
+		for _, u := range adj[f.v] {
+			if u != f.parent {
+				stack = append(stack, frame{u, f.v})
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		f := order[i]
+		size[f.v]++
+		if f.parent >= 0 {
+			size[f.parent] += size[f.v]
+		}
+	}
+	parent := make([]int, n)
+	for _, f := range order {
+		parent[f.v] = f.parent
+	}
+	bestScore := n + 1
+	var cs []int
+	for v := 0; v < n; v++ {
+		// Largest component after removing v.
+		score := n - size[v] // the side containing the root
+		for _, u := range adj[v] {
+			if u != parent[v] && size[u] > score {
+				score = size[u]
+			}
+		}
+		if score < bestScore {
+			bestScore = score
+			cs = cs[:0]
+		}
+		if score == bestScore {
+			cs = append(cs, v)
+		}
+	}
+	return cs
+}
+
+// encodeRootedAt computes the canonical rooted code of the tree adj rooted
+// at r.
+func encodeRootedAt(adj [][]int, r int) Treelet {
+	var encode func(v, parent int) Treelet
+	encode = func(v, parent int) Treelet {
+		var codes []Treelet
+		for _, u := range adj[v] {
+			if u != parent {
+				codes = append(codes, encode(u, v))
+			}
+		}
+		for i := 1; i < len(codes); i++ {
+			for j := i; j > 0 && codes[j] < codes[j-1]; j-- {
+				codes[j], codes[j-1] = codes[j-1], codes[j]
+			}
+		}
+		t := Leaf
+		for i := len(codes) - 1; i >= 0; i-- {
+			t = Merge(t, codes[i])
+		}
+		return t
+	}
+	return encode(r, -1)
+}

@@ -1,0 +1,220 @@
+// Package u128 implements unsigned 128-bit integers used as treelet
+// counters throughout the library.
+//
+// Motivo stores 128-bit counts because 64-bit counters overflow already for
+// moderate inputs: the number of 6-stars centered at a node of degree 2^16
+// is about 2^80 (paper, Section 3.1). All operations are branch-light and
+// allocation-free so they can sit in the innermost dynamic-programming loop.
+package u128
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Uint128 is an unsigned 128-bit integer. The zero value is 0.
+type Uint128 struct {
+	Hi, Lo uint64
+}
+
+// Zero is the zero value, exported for readability at call sites.
+var Zero = Uint128{}
+
+// One is the constant 1.
+var One = Uint128{Lo: 1}
+
+// From64 returns x as a Uint128.
+func From64(x uint64) Uint128 { return Uint128{Lo: x} }
+
+// IsZero reports whether u == 0.
+func (u Uint128) IsZero() bool { return u.Hi == 0 && u.Lo == 0 }
+
+// Add returns u + v, wrapping on overflow.
+func (u Uint128) Add(v Uint128) Uint128 {
+	lo, carry := bits.Add64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Add64(u.Hi, v.Hi, carry)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Add64 returns u + x, wrapping on overflow.
+func (u Uint128) Add64(x uint64) Uint128 {
+	lo, carry := bits.Add64(u.Lo, x, 0)
+	return Uint128{Hi: u.Hi + carry, Lo: lo}
+}
+
+// Sub returns u - v, wrapping on underflow.
+func (u Uint128) Sub(v Uint128) Uint128 {
+	lo, borrow := bits.Sub64(u.Lo, v.Lo, 0)
+	hi, _ := bits.Sub64(u.Hi, v.Hi, borrow)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Mul64 returns u * x truncated to 128 bits.
+func (u Uint128) Mul64(x uint64) Uint128 {
+	hi, lo := bits.Mul64(u.Lo, x)
+	hi += u.Hi * x
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Mul returns u * v truncated to 128 bits.
+func (u Uint128) Mul(v Uint128) Uint128 {
+	hi, lo := bits.Mul64(u.Lo, v.Lo)
+	hi += u.Lo*v.Hi + u.Hi*v.Lo
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// Cmp compares u and v, returning -1, 0 or +1.
+func (u Uint128) Cmp(v Uint128) int {
+	switch {
+	case u.Hi < v.Hi:
+		return -1
+	case u.Hi > v.Hi:
+		return +1
+	case u.Lo < v.Lo:
+		return -1
+	case u.Lo > v.Lo:
+		return +1
+	}
+	return 0
+}
+
+// Less reports whether u < v.
+func (u Uint128) Less(v Uint128) bool { return u.Cmp(v) < 0 }
+
+// QuoRem64 returns the quotient u/d and remainder u%d. It panics if d == 0.
+func (u Uint128) QuoRem64(d uint64) (q Uint128, r uint64) {
+	if d == 0 {
+		panic("u128: division by zero")
+	}
+	if u.Hi == 0 {
+		return Uint128{Lo: u.Lo / d}, u.Lo % d
+	}
+	q.Hi = u.Hi / d
+	rem := u.Hi % d
+	q.Lo, r = bits.Div64(rem, u.Lo, d)
+	return q, r
+}
+
+// Float64 returns u as a float64, accurate to within 1 ulp (the two-step
+// hi/lo conversion can double-round). Large values lose precision but never
+// overflow (2^128 < max float64). The sampling phase uses these values as
+// relative weights, where 1 ulp is immaterial.
+func (u Uint128) Float64() float64 {
+	return float64(u.Hi)*0x1p64 + float64(u.Lo)
+}
+
+// FromFloat64 converts a non-negative float to a Uint128, truncating the
+// fractional part. Values ≥ 2^128 saturate to the maximum.
+func FromFloat64(f float64) Uint128 {
+	if f <= 0 || math.IsNaN(f) {
+		return Zero
+	}
+	if f >= 0x1p128 {
+		return Uint128{Hi: math.MaxUint64, Lo: math.MaxUint64}
+	}
+	if f < 0x1p64 {
+		return Uint128{Lo: uint64(f)}
+	}
+	hi := uint64(f / 0x1p64)
+	lo := uint64(f - float64(hi)*0x1p64)
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+// String formats u in decimal.
+func (u Uint128) String() string {
+	if u.Hi == 0 {
+		return fmt.Sprintf("%d", u.Lo)
+	}
+	// Peel off 18 decimal digits at a time.
+	const chunk = 1_000_000_000_000_000_000
+	q, r := u.QuoRem64(chunk)
+	if q.Hi == 0 {
+		return fmt.Sprintf("%d%018d", q.Lo, r)
+	}
+	q2, r2 := q.QuoRem64(chunk)
+	return fmt.Sprintf("%d%018d%018d", q2.Lo, r2, r)
+}
+
+// RandSource yields uniformly distributed uint64 values. *math/rand.Rand
+// satisfies it.
+type RandSource interface {
+	Uint64() uint64
+}
+
+// RandN returns a uniformly random value in [0, n). It panics if n == 0.
+func RandN(rng RandSource, n Uint128) Uint128 {
+	if n.IsZero() {
+		panic("u128: RandN with n == 0")
+	}
+	if n.Hi == 0 {
+		// Fast path: reduce to 64-bit sampling without modulo bias by
+		// rejection from the largest multiple of n.Lo.
+		max := math.MaxUint64 - math.MaxUint64%n.Lo
+		for {
+			v := rng.Uint64()
+			if v < max || max == 0 {
+				return Uint128{Lo: v % n.Lo}
+			}
+		}
+	}
+	// General case: rejection-sample 128-bit values below the largest
+	// multiple of n. The expected number of iterations is < 2.
+	for {
+		v := Uint128{Hi: rng.Uint64(), Lo: rng.Uint64()}
+		// v mod n via subtract-shift would be slow; instead accept v if
+		// v < floor(2^128/n)*n, then divide. Since n.Hi != 0, the quotient
+		// floor(2^128-1 / n) fits in a uint64.
+		q := maxDiv(n)
+		limit := n.Mul64(q)
+		if v.Cmp(limit) < 0 {
+			return modSmallQuot(v, n)
+		}
+	}
+}
+
+// maxDiv returns floor((2^128 - 1) / n) for n with n.Hi != 0; the result
+// fits in 64 bits because n ≥ 2^64.
+func maxDiv(n Uint128) uint64 {
+	// Binary search on q such that n*q <= 2^128-1.
+	lo, hi := uint64(1), uint64(math.MaxUint64)
+	allOnes := Uint128{Hi: math.MaxUint64, Lo: math.MaxUint64}
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		p, overflow := mulCheck(n, mid)
+		if !overflow && p.Cmp(allOnes) <= 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// mulCheck returns n*q and whether the product overflowed 128 bits.
+func mulCheck(n Uint128, q uint64) (Uint128, bool) {
+	hi1, lo := bits.Mul64(n.Lo, q)
+	hi2, hi3 := bits.Mul64(n.Hi, q)
+	hi, carry := bits.Add64(hi1, hi3, 0)
+	return Uint128{Hi: hi, Lo: lo}, hi2 != 0 || carry != 0
+}
+
+// modSmallQuot computes v mod n when v/n fits comfortably in a uint64
+// (guaranteed here because n.Hi != 0 implies v/n < 2^64).
+func modSmallQuot(v, n Uint128) Uint128 {
+	// Estimate quotient using float division, then correct.
+	q := uint64(v.Float64() / n.Float64())
+	for {
+		p := n.Mul64(q)
+		if p.Cmp(v) > 0 {
+			q--
+			continue
+		}
+		r := v.Sub(p)
+		if r.Cmp(n) >= 0 {
+			q++
+			continue
+		}
+		return r
+	}
+}

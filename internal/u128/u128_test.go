@@ -1,0 +1,203 @@
+package u128
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(u Uint128) *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(u.Lo))
+}
+
+var mod128 = new(big.Int).Lsh(big.NewInt(1), 128)
+
+func fromBig(b *big.Int) Uint128 {
+	m := new(big.Int).Mod(b, mod128)
+	lo := new(big.Int).And(m, new(big.Int).SetUint64(math.MaxUint64)).Uint64()
+	hi := new(big.Int).Rsh(m, 64).Uint64()
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := Uint128{ah, al}, Uint128{bh, bl}
+		want := fromBig(new(big.Int).Add(toBig(a), toBig(b)))
+		return a.Add(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatchesBig(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := Uint128{ah, al}, Uint128{bh, bl}
+		want := fromBig(new(big.Int).Sub(toBig(a), toBig(b)))
+		return a.Sub(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := Uint128{ah, al}, Uint128{bh, bl}
+		want := fromBig(new(big.Int).Mul(toBig(a), toBig(b)))
+		return a.Mul(b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64MatchesBig(t *testing.T) {
+	f := func(ah, al, x uint64) bool {
+		a := Uint128{ah, al}
+		want := fromBig(new(big.Int).Mul(toBig(a), new(big.Int).SetUint64(x)))
+		return a.Mul64(x) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuoRem64MatchesBig(t *testing.T) {
+	f := func(ah, al, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		a := Uint128{ah, al}
+		bd := new(big.Int).SetUint64(d)
+		wantQ, wantR := new(big.Int).QuoRem(toBig(a), bd, new(big.Int))
+		q, r := a.QuoRem64(d)
+		return q == fromBig(wantQ) && r == wantR.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a, b := Uint128{ah, al}, Uint128{bh, bl}
+		return a.Cmp(b) == toBig(a).Cmp(toBig(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		u    Uint128
+		want string
+	}{
+		{Zero, "0"},
+		{One, "1"},
+		{From64(math.MaxUint64), "18446744073709551615"},
+		{Uint128{Hi: 1, Lo: 0}, "18446744073709551616"},
+		{Uint128{Hi: math.MaxUint64, Lo: math.MaxUint64}, "340282366920938463463374607431768211455"},
+	}
+	for _, c := range cases {
+		if got := c.u.String(); got != c.want {
+			t.Errorf("String(%v,%v) = %q, want %q", c.u.Hi, c.u.Lo, got, c.want)
+		}
+	}
+	f := func(hi, lo uint64) bool {
+		u := Uint128{hi, lo}
+		return u.String() == toBig(u).String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := Uint128{hi, lo}
+		got := u.Float64()
+		want, _ := new(big.Float).SetInt(toBig(u)).Float64()
+		if got == want {
+			return true
+		}
+		// The two-step conversion may double-round: allow 1 ulp.
+		return math.Nextafter(got, want) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Exact for values that fit in 53 bits.
+	for _, v := range []uint64{0, 1, 1 << 52, 1<<53 - 1} {
+		if From64(v).Float64() != float64(v) {
+			t.Errorf("Float64(%d) inexact", v)
+		}
+	}
+}
+
+func TestFromFloat64(t *testing.T) {
+	if FromFloat64(-1) != Zero {
+		t.Error("negative should map to zero")
+	}
+	if FromFloat64(math.NaN()) != Zero {
+		t.Error("NaN should map to zero")
+	}
+	if got := FromFloat64(12345.9); got != From64(12345) {
+		t.Errorf("got %v", got)
+	}
+	big := FromFloat64(0x1p127)
+	if big.Hi != 1<<63 {
+		t.Errorf("2^127: got hi=%x", big.Hi)
+	}
+	if got := FromFloat64(0x1p200); got.Hi != math.MaxUint64 || got.Lo != math.MaxUint64 {
+		t.Error("overflow should saturate")
+	}
+}
+
+func TestRandNInRangeAndRoughlyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// 64-bit path.
+	n := From64(10)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := RandN(rng, n)
+		if v.Cmp(n) >= 0 {
+			t.Fatalf("RandN out of range: %v", v)
+		}
+		counts[v.Lo]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Errorf("bucket %d has %d draws, expected ~1000", i, c)
+		}
+	}
+	// 128-bit path.
+	n2 := Uint128{Hi: 3, Lo: 12345}
+	for i := 0; i < 1000; i++ {
+		v := RandN(rng, n2)
+		if v.Cmp(n2) >= 0 {
+			t.Fatalf("RandN out of range: %v >= %v", v, n2)
+		}
+	}
+}
+
+func TestRandNPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandN(rand.New(rand.NewSource(1)), Zero)
+}
+
+func TestAdd64(t *testing.T) {
+	u := Uint128{Hi: 0, Lo: math.MaxUint64}
+	if got := u.Add64(1); got != (Uint128{Hi: 1, Lo: 0}) {
+		t.Errorf("carry not propagated: %v", got)
+	}
+}

@@ -1,0 +1,277 @@
+// Package motivo is a Go implementation of Motivo (Bressan, Leucci,
+// Panconesi — "Motivo: fast motif counting via succinct color coding and
+// adaptive sampling", VLDB 2019): approximate counting of the induced
+// occurrences of every connected k-node graphlet in a host graph, with
+// multiplicative accuracy even for extremely rare graphlets.
+//
+// The pipeline is the paper's: a color-coding build-up phase fills a
+// succinct treelet count table; a sampling phase treats the table as an
+// urn of colorful k-treelet copies and converts treelet draws into
+// graphlet occurrences; the adaptive strategy (AGS) progressively
+// "deletes" already-covered graphlets from the urn by switching the
+// spanning-tree shape it samples.
+//
+// Quick start:
+//
+//	g := motivo.BarabasiAlbert(10000, 5, 1)
+//	res, err := motivo.Count(g, motivo.Options{K: 5, Samples: 100000})
+//	if err != nil { ... }
+//	for _, e := range res.Top(10) {
+//		fmt.Printf("%s  %.3g occurrences (%.2f%%)\n",
+//			motivo.Describe(5, e.Code), e.Count, 100*e.Frequency)
+//	}
+package motivo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphlet"
+	"repro/internal/treelet"
+)
+
+// MaxK is the largest supported graphlet size.
+const MaxK = treelet.MaxK
+
+// Graph is an immutable undirected simple host graph in CSR layout.
+type Graph = graph.Graph
+
+// Edge is an undirected edge for NewGraph.
+type Edge = graph.Edge
+
+// Code is the canonical code of a graphlet (packed adjacency matrix).
+type Code = graphlet.Code
+
+// Counts maps canonical graphlet codes to occurrence counts (exact or
+// estimated).
+type Counts = estimate.Counts
+
+// NewGraph builds a graph on n vertices from an edge list; self-loops and
+// duplicates are dropped.
+func NewGraph(n int, edges []Edge) (*Graph, error) { return graph.Build(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated edge list with '#'/'%'
+// comments; sparse vertex ids are compacted.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// ReadBinary reads the compact binary graph format written by
+// (*Graph).WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// Deterministic synthetic generators (see internal/gen for the regimes
+// each one reproduces).
+var (
+	ErdosRenyi     = gen.ErdosRenyi
+	BarabasiAlbert = gen.BarabasiAlbert
+	StarHeavy      = gen.StarHeavy
+	Lollipop       = gen.Lollipop
+	Complete       = gen.Complete
+	PathGraph      = gen.Path
+	CycleGraph     = gen.Cycle
+	StarGraph      = gen.Star
+)
+
+// Strategy selects the sampling algorithm.
+type Strategy = core.Strategy
+
+const (
+	// Naive is uniform treelet sampling (the CC estimator on motivo's
+	// fast urn).
+	Naive = core.Naive
+	// AGS is adaptive graphlet sampling: multiplicative guarantees for
+	// rare graphlets too.
+	AGS = core.AGS
+)
+
+// Options configures Count. The zero value is completed with sensible
+// defaults: K=4, one coloring, 100k samples, naive strategy.
+type Options struct {
+	// K is the graphlet size (2..MaxK). Default 4.
+	K int
+	// Colorings is the number of independent colorings averaged (γ).
+	// Default 1.
+	Colorings int
+	// Samples is the per-coloring sampling budget. Default 100000.
+	Samples int
+	// Strategy selects Naive or AGS. Default Naive.
+	Strategy Strategy
+	// CoverThreshold is AGS's covering threshold c̄. Default 1000.
+	CoverThreshold int
+	// Lambda, when > 0, enables biased coloring with this λ (trades
+	// accuracy for table size on large graphs).
+	Lambda float64
+	// Seed makes runs reproducible. Default 1.
+	Seed int64
+	// Workers bounds build-phase parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Spill streams the count table through temp files (greedy flushing).
+	Spill bool
+}
+
+// Estimate is one graphlet's estimated occurrence count and relative
+// frequency.
+type Estimate struct {
+	Code      Code
+	Count     float64
+	Frequency float64
+}
+
+// Result is the outcome of a Count run.
+type Result struct {
+	// K is the graphlet size counted.
+	K int
+	// Counts estimates induced occurrences per canonical graphlet code.
+	Counts Counts
+	// Samples is the total number of samples drawn.
+	Samples int
+	// BuildTime and SampleTime are the aggregate phase durations.
+	BuildTime  time.Duration
+	SampleTime time.Duration
+	// TableBytes is the compact count-table payload size.
+	TableBytes int64
+}
+
+// Top returns the n graphlets with the largest estimated counts (all of
+// them if n ≤ 0 or exceeds the support).
+func (r *Result) Top(n int) []Estimate {
+	freq := estimate.Frequencies(r.Counts)
+	out := make([]Estimate, 0, len(r.Counts))
+	for code, c := range r.Counts {
+		out = append(out, Estimate{Code: code, Count: c, Frequency: freq[code]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Code.Less(out[j].Code)
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Count estimates the induced occurrences of every connected K-node
+// graphlet in g.
+func Count(g *Graph, opts Options) (*Result, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if opts.Colorings == 0 {
+		opts.Colorings = 1
+	}
+	if opts.Samples == 0 {
+		opts.Samples = 100000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	res, err := core.Count(g, core.Config{
+		K:                  opts.K,
+		Colorings:          opts.Colorings,
+		SamplesPerColoring: opts.Samples,
+		Strategy:           opts.Strategy,
+		CoverThreshold:     opts.CoverThreshold,
+		BiasedLambda:       opts.Lambda,
+		Seed:               opts.Seed,
+		Workers:            opts.Workers,
+		Spill:              opts.Spill,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		K:          opts.K,
+		Counts:     res.Counts,
+		Samples:    res.Samples,
+		BuildTime:  res.BuildTime,
+		SampleTime: res.SampleTime,
+		TableBytes: res.TableBytes,
+	}, nil
+}
+
+// ExactCount returns the exact induced counts of every connected k-node
+// graphlet via exhaustive ESU enumeration — feasible for small graphs and
+// the ground truth used in the experiments.
+func ExactCount(g *Graph, k int) (Counts, error) { return exact.Count(g, k) }
+
+// NonInducedCounts converts induced counts into non-induced (subgraph)
+// counts: noninduced(H) = Σ_{H'} mult(H, H')·induced(H'). support lists
+// the graphlets to evaluate (EnumerateGraphlets(k) for all of them, nil
+// for the keys of counts).
+func NonInducedCounts(counts Counts, k int, support []Code) Counts {
+	return estimate.NonInduced(counts, k, support)
+}
+
+// EnumerateGraphlets lists the canonical codes of all connected k-node
+// graphlets (k ≤ 7).
+func EnumerateGraphlets(k int) []Code { return graphlet.Enumerate(k) }
+
+// NumGraphlets returns the number of distinct connected graphlets on k
+// nodes (OEIS A001349).
+func NumGraphlets(k int) int64 { return graphlet.NumGraphlets(k) }
+
+// Describe renders a graphlet code as a short human-readable description:
+// special names for well-known shapes, otherwise edge count and degree
+// sequence.
+func Describe(k int, c Code) string {
+	deg := graphlet.Degrees(k, c)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	switch {
+	case graphlet.IsClique(k, c):
+		return fmt.Sprintf("%d-clique", k)
+	case graphlet.IsStar(k, c):
+		return fmt.Sprintf("%d-star", k)
+	case isPath(k, c):
+		return fmt.Sprintf("%d-path", k)
+	case isCycle(k, c):
+		return fmt.Sprintf("%d-cycle", k)
+	}
+	parts := make([]string, len(deg))
+	for i, d := range deg {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	// The code suffix disambiguates non-isomorphic graphlets that share an
+	// edge count and degree sequence.
+	return fmt.Sprintf("%dv/%de deg[%s] %s", k, c.EdgeCount(), strings.Join(parts, ","), c)
+}
+
+func isPath(k int, c Code) bool {
+	if c.EdgeCount() != k-1 {
+		return false
+	}
+	ones, twos := 0, 0
+	for _, d := range graphlet.Degrees(k, c) {
+		switch d {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	return ones == 2 && twos == k-2
+}
+
+func isCycle(k int, c Code) bool {
+	if c.EdgeCount() != k {
+		return false
+	}
+	for _, d := range graphlet.Degrees(k, c) {
+		if d != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// L1Error returns the ℓ1 distance between the frequency vectors of an
+// estimate and a ground truth.
+func L1Error(est, truth Counts) float64 { return estimate.L1(est, truth) }

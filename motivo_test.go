@@ -1,0 +1,154 @@
+package motivo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/graphlet"
+)
+
+func TestCountNaiveEndToEnd(t *testing.T) {
+	g := ErdosRenyi(40, 120, 3)
+	truth, err := ExactCount(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(g, Options{K: 4, Colorings: 6, Samples: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 6*20000 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if res.K != 4 || res.BuildTime <= 0 || res.SampleTime <= 0 || res.TableBytes <= 0 {
+		t.Error("result metadata incomplete")
+	}
+	if l1 := L1Error(res.Counts, truth); l1 > 0.1 {
+		t.Errorf("ℓ1 error %.3f", l1)
+	}
+}
+
+func TestCountAGSEndToEnd(t *testing.T) {
+	g := StarHeavy(1, 300, 30, 5)
+	res, err := Count(g, Options{K: 4, Samples: 10000, Strategy: AGS, CoverThreshold: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) < 2 {
+		t.Errorf("AGS found only %d graphlets on a star-heavy graph", len(res.Counts))
+	}
+	// The star must dominate.
+	top := res.Top(1)
+	if len(top) != 1 || !graphlet.IsStar(4, top[0].Code) {
+		t.Errorf("top graphlet is not the star: %v", top)
+	}
+}
+
+func TestTopOrderingAndTruncation(t *testing.T) {
+	g := ErdosRenyi(30, 80, 13)
+	res, err := Count(g, Options{K: 4, Samples: 5000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.Top(0)
+	for i := 1; i < len(all); i++ {
+		if all[i].Count > all[i-1].Count {
+			t.Fatal("Top not sorted descending")
+		}
+	}
+	var fsum float64
+	for _, e := range all {
+		fsum += e.Frequency
+	}
+	if math.Abs(fsum-1) > 1e-9 {
+		t.Errorf("frequencies sum to %v", fsum)
+	}
+	if got := res.Top(2); len(got) != 2 {
+		t.Errorf("Top(2) returned %d", len(got))
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	g := ErdosRenyi(20, 40, 19)
+	res, err := Count(g, Options{Samples: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 {
+		t.Errorf("default K = %d", res.K)
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	g := PathGraph(5)
+	if _, err := Count(g, Options{K: 1, Samples: 10}); err == nil {
+		t.Error("K=1 must fail")
+	}
+	if _, err := Count(g, Options{K: MaxK + 1, Samples: 10}); err == nil {
+		t.Error("K > MaxK must fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cases := []struct {
+		k    int
+		g    *Graph
+		want string
+	}{
+		{4, Complete(4), "4-clique"},
+		{5, StarGraph(5), "5-star"},
+		{5, PathGraph(5), "5-path"},
+		{5, CycleGraph(5), "5-cycle"},
+	}
+	for _, c := range cases {
+		truth, err := ExactCount(c.g, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for code := range truth {
+			if got := Describe(c.k, code); got != c.want {
+				t.Errorf("Describe = %q, want %q", got, c.want)
+			}
+		}
+	}
+	// Generic description mentions vertex and edge counts.
+	paw := graphlet.Canonical(4, graphlet.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}}))
+	if d := Describe(4, paw); !strings.Contains(d, "4v/4e") {
+		t.Errorf("paw description %q", d)
+	}
+}
+
+func TestNumGraphletsFacade(t *testing.T) {
+	if NumGraphlets(5) != 21 {
+		t.Errorf("NumGraphlets(5) = %d", NumGraphlets(5))
+	}
+}
+
+func TestBiasedColoringOption(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 23)
+	res, err := Count(g, Options{K: 4, Samples: 20000, Lambda: 0.15, Colorings: 4, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ExactCount(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Biased coloring trades accuracy for table size; the distribution
+	// must still be broadly right.
+	if l1 := L1Error(res.Counts, truth); l1 > 0.25 {
+		t.Errorf("biased ℓ1 error %.3f", l1)
+	}
+}
+
+func TestSpillOption(t *testing.T) {
+	g := ErdosRenyi(50, 150, 31)
+	res, err := Count(g, Options{K: 4, Samples: 2000, Spill: true, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Counts) == 0 {
+		t.Error("spill run produced no estimates")
+	}
+}
