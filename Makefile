@@ -1,0 +1,35 @@
+# Targets mirror .github/workflows/ci.yml exactly so local runs and CI
+# can't drift: `make ci` is what the gate runs.
+
+GO ?= go
+
+.PHONY: all build test bench fmt fmt-check vet quickstart ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: a compile-and-run smoke pass, not a
+# measurement (use `go test -bench=. -benchtime=1s` for numbers).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+quickstart:
+	$(GO) run ./examples/quickstart
+
+ci: fmt-check vet build test bench quickstart

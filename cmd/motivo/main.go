@@ -118,6 +118,14 @@ func cmdBuild(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("build: -i is required")
 	}
+	if *k < 1 || *k > treelet.MaxK {
+		return fmt.Errorf("build: -k %d out of range [1,%d]", *k, treelet.MaxK)
+	}
+	if *lambda > 0 {
+		if err := coloring.ValidateLambda(*k, *lambda); err != nil {
+			return fmt.Errorf("build: %w", err)
+		}
+	}
 	g, err := loadGraph(*in)
 	if err != nil {
 		return err

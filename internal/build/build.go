@@ -1,0 +1,416 @@
+// Package build implements motivo's color-coding build-up phase (paper,
+// Sections 3.1–3.3): the dynamic program that fills the succinct treelet
+// count table.
+//
+// For every node v and every treelet size h = 1..k it computes c(T_C, v),
+// the number of colorful copies of the canonical rooted treelet T with
+// color set C rooted at v, by the canonical-decomposition recurrence
+// (Eq. 1 of the paper):
+//
+//	c(T_C, v) = (1/β_T) · Σ_{u ~ v} Σ_{C' ⊎ C'' = C} c(T'_{C'}, v) · c(T''_{C''}, u)
+//
+// where T = Merge(T', T”) is the unique canonical decomposition detaching
+// the first child subtree T” of the root, and β_T corrects for the copies
+// generated once per identical first child. Because records are sorted by
+// (treelet, colorset) and the treelet occupies the key's high bits, the
+// inner loop walks contiguous shape runs of two records and performs the
+// check-and-merge test as a single integer comparison of succinct codes —
+// the optimization Figure 2 of the paper measures against CC's
+// pointer-based treelets.
+//
+// Performance machinery implemented here, matching the paper:
+//
+//   - a vertex-sharded worker pool: nodes of a level are processed
+//     concurrently by Options.Workers goroutines (0 = GOMAXPROCS); each
+//     node's record only reads completed lower levels, so the result is
+//     bit-identical regardless of scheduling;
+//   - 0-rooting (Section 3.2): with Options.ZeroRooted the size-k level is
+//     computed only at color-0 nodes, counting each colorful k-treelet copy
+//     exactly once (it has exactly one color-0 node) and cutting both time
+//     and table space at the top level;
+//   - neighbor buffering (Section 3.3): for nodes of degree ≥
+//     Options.BufferThreshold the neighbor records of one size are
+//     pre-aggregated into a single sorted record, turning the
+//     deg(v)·|r_u|·|r_v| pair scan into deg(v)·|r_u| + |agg|·|r_v| —
+//     the same counts, a fraction of the work on hubs;
+//   - greedy flushing (Section 3.1): with Options.Spill each completed
+//     record is serialized to a temp file through table.DiskStore and its
+//     memory released; when the level pass finishes the spill is re-read
+//     sequentially to serve as input for the next pass. Note the scope of
+//     the current implementation: the reload stands in for the paper's
+//     memory-mapped reads, so it bounds the working set only *during* a
+//     pass — completed lower levels stay resident (they are randomly
+//     accessed by every later pass and by the sampler). True
+//     larger-than-RAM tables need mmap-backed lower levels, a planned
+//     extension.
+package build
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// DefaultBufferThreshold is the degree at which neighbor buffering kicks in
+// (paper: 10^4).
+const DefaultBufferThreshold = 10000
+
+// Options parameterizes the build-up phase.
+type Options struct {
+	// Workers bounds the vertex-sharded worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// ZeroRooted enables 0-rooting (Section 3.2): size-k records are
+	// computed only at color-0 nodes, each unrooted copy counted once.
+	ZeroRooted bool
+	// Spill enables greedy flushing of completed records through temp
+	// files (Section 3.1): the level being built streams to disk instead
+	// of accumulating in memory, and is reloaded once the pass finishes
+	// (see the package comment for what this does and does not bound).
+	// SpillDir != "" also enables it.
+	Spill bool
+	// SpillDir is the directory for spill files (the default temp dir
+	// when empty). Setting it implies Spill.
+	SpillDir string
+	// BufferThreshold is the degree at which neighbor buffering starts
+	// (0 keeps the paper's default of 10^4).
+	BufferThreshold int
+}
+
+// DefaultOptions returns the paper's defaults: GOMAXPROCS workers,
+// 0-rooting on, no spilling, buffering above degree 10^4.
+func DefaultOptions() Options {
+	return Options{ZeroRooted: true, BufferThreshold: DefaultBufferThreshold}
+}
+
+// spillEnabled reports whether greedy flushing is active.
+func (o Options) spillEnabled() bool { return o.Spill || o.SpillDir != "" }
+
+// bufferThreshold returns the effective neighbor-buffering threshold.
+func (o Options) bufferThreshold() int {
+	if o.BufferThreshold > 0 {
+		return o.BufferThreshold
+	}
+	return DefaultBufferThreshold
+}
+
+// workers returns the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats reports what the build did, per the measurements the paper's
+// evaluation tracks.
+type Stats struct {
+	// Duration is the wall-clock time of the whole build.
+	Duration time.Duration
+	// LevelTime[h] is the wall-clock time of the size-h pass (index 0
+	// unused).
+	LevelTime []time.Duration
+	// CheckMergeOps counts check-and-merge operations: one per
+	// (colored treelet, colored treelet) pair considered by the inner
+	// loop, matching the accounting of the CC baseline so Figure 2's
+	// ns/op comparison is apples to apples.
+	CheckMergeOps int64
+	// Pairs is the number of (key, count) pairs stored in the table.
+	Pairs int64
+	// TableBytes is the in-memory payload of the final table.
+	TableBytes int64
+	// SpillBytes is the total size of the spill files written (0 when
+	// spilling is off).
+	SpillBytes int64
+	// BufferedNodes counts node/level passes that took the
+	// neighbor-buffered path.
+	BufferedNodes int64
+}
+
+// Run executes the build-up phase on g under col, filling the count table
+// for treelet sizes 1..k using the shapes pre-enumerated in cat.
+func Run(g *graph.Graph, col *coloring.Coloring, k int, cat *treelet.Catalog, opts Options) (*table.Table, *Stats, error) {
+	if k < 1 || k > treelet.MaxK {
+		return nil, nil, fmt.Errorf("build: k=%d out of range [1,%d]", k, treelet.MaxK)
+	}
+	if col == nil || col.K != k {
+		return nil, nil, fmt.Errorf("build: coloring has %d colors, want %d", colK(col), k)
+	}
+	n := g.NumNodes()
+	if len(col.Colors) != n {
+		return nil, nil, fmt.Errorf("build: coloring covers %d nodes, graph has %d", len(col.Colors), n)
+	}
+	if cat == nil || cat.K < k {
+		return nil, nil, fmt.Errorf("build: catalog k=%d < build k=%d", catK(cat), k)
+	}
+
+	start := time.Now()
+	b := &builder{
+		g: g, col: col, k: k, cat: cat, opts: opts,
+		tab:   table.New(n, k, opts.ZeroRooted),
+		stats: &Stats{LevelTime: make([]time.Duration, k+1)},
+	}
+	if err := b.levelOne(); err != nil {
+		return nil, nil, err
+	}
+	for h := 2; h <= k; h++ {
+		if err := b.level(h); err != nil {
+			return nil, nil, err
+		}
+	}
+	b.stats.Duration = time.Since(start)
+	b.stats.Pairs = b.tab.Pairs()
+	b.stats.TableBytes = b.tab.Bytes()
+	return b.tab, b.stats, nil
+}
+
+func colK(c *coloring.Coloring) int {
+	if c == nil {
+		return 0
+	}
+	return c.K
+}
+
+func catK(c *treelet.Catalog) int {
+	if c == nil {
+		return 0
+	}
+	return c.K
+}
+
+// builder carries the shared state of one Run.
+type builder struct {
+	g    *graph.Graph
+	col  *coloring.Coloring
+	k    int
+	cat  *treelet.Catalog
+	opts Options
+
+	tab   *table.Table
+	stats *Stats
+}
+
+// topLevelSkip reports whether node v is excluded from the size-h pass
+// (0-rooting restricts the top level to color-0 nodes).
+func (b *builder) topLevelSkip(h int, v int32) bool {
+	return b.opts.ZeroRooted && h == b.k && b.col.Of(v) != 0
+}
+
+// levelOne seeds the base case: one pair (Leaf, {color(v)}) ↦ 1 per node.
+func (b *builder) levelOne() error {
+	lvl := time.Now()
+	for v := int32(0); int(v) < b.g.NumNodes(); v++ {
+		if b.topLevelSkip(1, v) {
+			continue
+		}
+		b.tab.Recs[1][v] = table.Record{
+			Keys: []treelet.Colored{treelet.MakeColored(treelet.Leaf, treelet.Singleton(b.col.Of(v)))},
+			Cum:  []u128.Uint128{u128.One},
+		}
+	}
+	b.stats.LevelTime[1] = time.Since(lvl)
+	return nil
+}
+
+// level runs the size-h pass: the worker pool shards nodes, each worker
+// accumulates records from completed lower levels, and (optionally) the
+// spill path streams completed records to disk.
+func (b *builder) level(h int) error {
+	lvl := time.Now()
+	var spill *spillSink
+	if b.opts.spillEnabled() {
+		s, err := newSpillSink(b.opts.SpillDir, b.g.NumNodes())
+		if err != nil {
+			return err
+		}
+		spill = s
+		defer spill.close()
+	}
+
+	var (
+		ops      int64
+		buffered int64
+		firstErr atomic.Value
+	)
+	n := b.g.NumNodes()
+	parallelFor(n, b.opts.workers(), func(lo, hi int) {
+		w := newWorker(b, h)
+		for v := lo; v < hi; v++ {
+			if firstErr.Load() != nil {
+				return
+			}
+			node := int32(v)
+			if b.topLevelSkip(h, node) {
+				continue
+			}
+			rec := w.vertexRecord(node)
+			if rec.Len() == 0 {
+				continue
+			}
+			if spill != nil {
+				if err := spill.flush(node, rec); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				continue // memory released: the record lives on disk now
+			}
+			b.tab.Recs[h][node] = rec
+		}
+		atomic.AddInt64(&ops, w.ops)
+		atomic.AddInt64(&buffered, w.buffered)
+	})
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	b.stats.CheckMergeOps += ops
+	b.stats.BufferedNodes += buffered
+
+	if spill != nil {
+		// The sequential second pass: reload the level to serve as input
+		// for the next one.
+		recs, err := spill.loadAll()
+		if err != nil {
+			return err
+		}
+		b.tab.Recs[h] = recs
+		b.stats.SpillBytes += spill.size()
+	}
+	b.stats.LevelTime[h] = time.Since(lvl)
+	return nil
+}
+
+// worker is the per-goroutine state of the level pass: the accumulation
+// map and local stat counters (merged once at the end, so the hot loop is
+// contention-free).
+type worker struct {
+	b   *builder
+	h   int
+	acc map[treelet.Colored]u128.Uint128
+
+	ops      int64
+	buffered int64
+}
+
+func newWorker(b *builder, h int) *worker {
+	return &worker{b: b, h: h, acc: make(map[treelet.Colored]u128.Uint128)}
+}
+
+// vertexRecord computes the full size-h record of node v by the
+// decomposition recurrence, returning a sorted cumulative Record.
+func (w *worker) vertexRecord(v int32) table.Record {
+	b := w.b
+	clear(w.acc)
+	deg := b.g.Degree(v)
+	useBuffer := deg >= b.opts.bufferThreshold()
+	if useBuffer {
+		w.buffered++
+	}
+	for hpp := 1; hpp < w.h; hpp++ {
+		hp := w.h - hpp
+		rv := b.tab.Rec(hp, v)
+		if rv.Len() == 0 {
+			continue
+		}
+		if useBuffer {
+			// Neighbor buffering: Σ_u Σ c(T',v)·c(T'',u) factors as
+			// Σ c(T',v)·(Σ_u c(T'',u)) — aggregate the neighborhood once,
+			// then combine against a single record.
+			agg := w.aggregateNeighbors(v, hpp)
+			if agg.Len() == 0 {
+				continue
+			}
+			w.combine(&agg, rv)
+			continue
+		}
+		for _, u := range b.g.Neighbors(v) {
+			ru := b.tab.Rec(hpp, u)
+			if ru.Len() == 0 {
+				continue
+			}
+			w.combine(ru, rv)
+		}
+	}
+	if len(w.acc) == 0 {
+		return table.Record{}
+	}
+	// β_T correction: the recurrence generated each copy once per
+	// identical first child; the division is exact.
+	for key, c := range w.acc {
+		if beta := b.cat.Beta(key.Tree()); beta > 1 {
+			q, _ := c.QuoRem64(uint64(beta))
+			w.acc[key] = q
+		}
+	}
+	return table.FromMap(w.acc)
+}
+
+// aggregateNeighbors sums the size-hpp records of v's neighbors into one
+// sorted record (counts only; the cumulative form doubles as sorted
+// storage).
+func (w *worker) aggregateNeighbors(v int32, hpp int) table.Record {
+	b := w.b
+	agg := make(map[treelet.Colored]u128.Uint128)
+	for _, u := range b.g.Neighbors(v) {
+		ru := b.tab.Rec(hpp, u)
+		for i := 0; i < ru.Len(); i++ {
+			key, c := ru.At(i)
+			agg[key] = agg[key].Add(c)
+			w.ops++
+		}
+	}
+	return table.FromMap(agg)
+}
+
+// combine walks the shape runs of ru (first-child side T”) and rv
+// (remainder side T'), performs one succinct check-and-merge per run pair,
+// and accumulates the color-disjoint products into the map. Record keys
+// sort by (treelet, colorset), so each shape's colorings are contiguous.
+func (w *worker) combine(ru, rv *table.Record) {
+	cat := w.b.cat
+	i := 0
+	for i < ru.Len() {
+		tpp := ru.Keys[i].Tree()
+		iEnd := i + 1
+		for iEnd < ru.Len() && ru.Keys[iEnd].Tree() == tpp {
+			iEnd++
+		}
+		j := 0
+		for j < rv.Len() {
+			tp := rv.Keys[j].Tree()
+			jEnd := j + 1
+			for jEnd < rv.Len() && rv.Keys[jEnd].Tree() == tp {
+				jEnd++
+			}
+			// One pair of shape runs = (iEnd-i)·(jEnd-j) candidate pairs;
+			// count them all, as CC does, whether or not the merge is
+			// canonical.
+			w.ops += int64(iEnd-i) * int64(jEnd-j)
+			// The check: T'' must not come after the first child of T'.
+			// One integer comparison on succinct codes (vs CC's recursive
+			// pointer walk).
+			if tp == treelet.Leaf || tpp <= cat.FirstChild(tp) {
+				merged := treelet.Merge(tp, tpp)
+				for a := i; a < iEnd; a++ {
+					cpp, cu := ru.At(a)
+					cs := cpp.Colors()
+					for bi := j; bi < jEnd; bi++ {
+						cp, cv := rv.At(bi)
+						if !cp.Colors().Disjoint(cs) {
+							continue
+						}
+						key := treelet.MakeColored(merged, cp.Colors()|cs)
+						w.acc[key] = w.acc[key].Add(cv.Mul(cu))
+					}
+				}
+			}
+			j = jEnd
+		}
+		i = iEnd
+	}
+}

@@ -1,0 +1,55 @@
+package build
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor shards [0, n) across `workers` goroutines in dynamically
+// scheduled chunks, calling fn(lo, hi) for each chunk. Chunks are claimed
+// by an atomic cursor, so fast workers steal the remaining range from slow
+// ones — vertices differ wildly in cost (a hub costs orders of magnitude
+// more than a leaf), which makes static sharding a straggler factory.
+func parallelFor(n, workers int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	// Chunks small enough to load-balance, large enough to amortize the
+	// atomic claim; clamped to [1, 256].
+	chunk := n / (workers * 16)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 256 {
+		chunk = 256
+	}
+	var (
+		cursor int64
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&cursor, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

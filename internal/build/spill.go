@@ -1,0 +1,55 @@
+package build
+
+import (
+	"sync"
+
+	"repro/internal/table"
+)
+
+// spillSink serializes completed records of one level pass to a temp file
+// (the greedy flushing strategy, Section 3.1). table.DiskStore does the
+// encoding; this wrapper adds the mutex the concurrent worker pool needs —
+// flush order is arbitrary, DiskStore.LoadAll reorders by offset.
+type spillSink struct {
+	mu sync.Mutex
+	ds *table.DiskStore
+}
+
+func newSpillSink(dir string, n int) (*spillSink, error) {
+	ds, err := table.NewDiskStore(dir, n)
+	if err != nil {
+		return nil, err
+	}
+	return &spillSink{ds: ds}, nil
+}
+
+func (s *spillSink) flush(v int32, r table.Record) error {
+	if r.Len() == 0 {
+		return nil
+	}
+	// Encode outside the lock: the per-record packing dominates the
+	// append, and serializing it would collapse the worker pool to one
+	// effective writer on encode-heavy levels.
+	buf := table.EncodeRecord(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.FlushEncoded(v, buf)
+}
+
+func (s *spillSink) loadAll() ([]table.Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.LoadAll()
+}
+
+func (s *spillSink) size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Size()
+}
+
+func (s *spillSink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ds.Close()
+}

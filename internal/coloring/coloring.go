@@ -39,16 +39,29 @@ func Uniform(n, k int, seed int64) *Coloring {
 	return c
 }
 
+// ValidateLambda checks the biased-coloring parameter range: k ≥ 2 and
+// 0 < λ < 1/(k-1). Callers taking user input should run it before Biased,
+// which panics on the same condition. Values near 1/k recover the uniform
+// distribution.
+func ValidateLambda(k int, lambda float64) error {
+	if k < 2 {
+		return fmt.Errorf("coloring: biased coloring needs k ≥ 2, got k=%d", k)
+	}
+	if lambda <= 0 || lambda*float64(k-1) >= 1 {
+		return fmt.Errorf("coloring: lambda=%g out of range (0, 1/(k-1)) for k=%d", lambda, k)
+	}
+	return nil
+}
+
 // Biased colors n nodes with the biased distribution of Section 3.4:
 // colors 0..k-2 have probability λ each and color k-1 has probability
-// 1-(k-1)λ. λ must satisfy 0 < λ ≤ 1/k... values near 1/k recover the
-// uniform distribution.
+// 1-(k-1)λ. λ must satisfy ValidateLambda; Biased panics otherwise.
 func Biased(n, k int, lambda float64, seed int64) *Coloring {
 	if k < 2 || k > 16 {
 		panic(fmt.Sprintf("coloring: k=%d out of range [2,16]", k))
 	}
-	if lambda <= 0 || lambda*float64(k-1) >= 1 {
-		panic(fmt.Sprintf("coloring: lambda=%g out of range (0, 1/(k-1))", lambda))
+	if err := ValidateLambda(k, lambda); err != nil {
+		panic(err)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	c := &Coloring{K: k, Colors: make([]uint8, n), PColorful: PBiased(k, lambda)}

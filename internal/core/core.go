@@ -104,6 +104,11 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 	if cfg.SamplesPerColoring < 1 {
 		return nil, fmt.Errorf("core: SamplesPerColoring must be ≥ 1, got %d", cfg.SamplesPerColoring)
 	}
+	if cfg.BiasedLambda > 0 {
+		if err := coloring.ValidateLambda(cfg.K, cfg.BiasedLambda); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	cover := cfg.CoverThreshold
 	if cover == 0 {
 		cover = 1000
@@ -123,6 +128,9 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 		opts := build.DefaultOptions()
 		opts.Workers = cfg.Workers
 		opts.Spill = cfg.Spill
+		if cfg.BufferThreshold > 0 {
+			opts.BufferThreshold = cfg.BufferThreshold
+		}
 		tab, stats, err := build.Run(g, col, cfg.K, cat, opts)
 		if err != nil {
 			return nil, err

@@ -16,6 +16,7 @@ func TestValidation(t *testing.T) {
 		{K: 20, Colorings: 1, SamplesPerColoring: 10},
 		{K: 3, Colorings: 0, SamplesPerColoring: 10},
 		{K: 3, Colorings: 1, SamplesPerColoring: 0},
+		{K: 3, Colorings: 1, SamplesPerColoring: 10, BiasedLambda: 0.9},
 	}
 	for i, cfg := range cases {
 		if _, err := Count(g, cfg); err == nil {
@@ -155,6 +156,20 @@ func TestParallelSamplingMatchesSequential(t *testing.T) {
 		if par2.Counts[c] != v {
 			t.Fatalf("parallel run not deterministic for %v", c)
 		}
+	}
+}
+
+func TestBufferThresholdReachesBuild(t *testing.T) {
+	g := gen.StarHeavy(1, 120, 30, 43)
+	res, err := Count(g, Config{
+		K: 3, Colorings: 1, SamplesPerColoring: 500,
+		BufferThreshold: 1, Seed: 47,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BuildStats) != 1 || res.BuildStats[0].BufferedNodes == 0 {
+		t.Fatal("BufferThreshold override did not reach the build phase")
 	}
 }
 

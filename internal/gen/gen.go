@@ -71,16 +71,23 @@ func BarabasiAlbert(n, mPerNode int, seed int64) *graph.Graph {
 		edges = append(edges, graph.Edge{U: 0, V: int32(v)})
 		endpoints = append(endpoints, 0, int32(v))
 	}
-	targets := make(map[int32]struct{}, mPerNode)
+	// Targets are kept in a slice in pick order (not a map): iterating a
+	// map here would append endpoints in randomized order and break
+	// seed-reproducibility of every later degree-proportional draw.
+	targets := make([]int32, 0, mPerNode)
 	for v := mPerNode + 1; v < n; v++ {
-		for k := range targets {
-			delete(targets, k)
-		}
+		targets = targets[:0]
+	pick:
 		for len(targets) < mPerNode {
 			t := endpoints[rng.Intn(len(endpoints))]
-			targets[t] = struct{}{}
+			for _, p := range targets {
+				if p == t {
+					continue pick
+				}
+			}
+			targets = append(targets, t)
 		}
-		for t := range targets {
+		for _, t := range targets {
 			edges = append(edges, graph.Edge{U: int32(v), V: t})
 			endpoints = append(endpoints, int32(v), t)
 		}

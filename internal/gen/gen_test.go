@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/graph"
@@ -56,6 +57,22 @@ func TestBarabasiAlbert(t *testing.T) {
 	mean := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
 	if float64(g.MaxDegree()) < 4*mean {
 		t.Errorf("max degree %d not heavy-tailed vs mean %.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	// Exact edge-for-edge equality, not just the degree sequence: the
+	// endpoint list once grew in map-iteration order, which silently
+	// de-seeded every later degree-proportional draw.
+	var a, b bytes.Buffer
+	if err := BarabasiAlbert(500, 3, 7).WriteEdgeList(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := BarabasiAlbert(500, 3, 7).WriteEdgeList(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed must give the identical edge list")
 	}
 }
 

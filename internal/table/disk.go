@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/treelet"
 	"repro/internal/u128"
@@ -41,28 +42,41 @@ func NewDiskStore(dir string, n int) (*DiskStore, error) {
 	return &DiskStore{f: f, w: bufio.NewWriterSize(f, 1<<20), offsets: offs}, nil
 }
 
-// Flush appends the record of node v to the spill file and returns an empty
-// record so the caller can release the in-memory copy.
+// EncodeRecord serializes a record to the spill wire format: a 4-byte
+// little-endian pair count followed by 24 bytes per (key, cumulative)
+// pair. It is exposed separately from Flush so concurrent producers can
+// encode outside whatever lock guards the store.
+func EncodeRecord(r Record) []byte {
+	buf := make([]byte, 4+24*r.Len())
+	binary.LittleEndian.PutUint32(buf, uint32(r.Len()))
+	for i, k := range r.Keys {
+		binary.LittleEndian.PutUint64(buf[4+24*i:], uint64(k))
+		binary.LittleEndian.PutUint64(buf[4+24*i+8:], r.Cum[i].Lo)
+		binary.LittleEndian.PutUint64(buf[4+24*i+16:], r.Cum[i].Hi)
+	}
+	return buf
+}
+
+// Flush appends the record of node v to the spill file so the caller can
+// release the in-memory copy.
 func (d *DiskStore) Flush(v int32, r Record) error {
 	if r.Len() == 0 {
 		return nil
 	}
+	return d.FlushEncoded(v, EncodeRecord(r))
+}
+
+// FlushEncoded appends a record already serialized with EncodeRecord.
+// Empty records (payload of just the zero pair count) are skipped.
+func (d *DiskStore) FlushEncoded(v int32, buf []byte) error {
+	if len(buf) <= 4 {
+		return nil
+	}
 	d.offsets[v] = d.pos
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(r.Len()))
-	if _, err := d.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	buf := make([]byte, 24*r.Len())
-	for i, k := range r.Keys {
-		binary.LittleEndian.PutUint64(buf[24*i:], uint64(k))
-		binary.LittleEndian.PutUint64(buf[24*i+8:], r.Cum[i].Lo)
-		binary.LittleEndian.PutUint64(buf[24*i+16:], r.Cum[i].Hi)
-	}
 	if _, err := d.w.Write(buf); err != nil {
 		return err
 	}
-	d.pos += int64(4 + len(buf))
+	d.pos += int64(len(buf))
 	return nil
 }
 
@@ -117,13 +131,10 @@ func (d *DiskStore) LoadAll() ([]Record, error) {
 			order = append(order, ent{int32(v), off})
 		}
 	}
-	// Offsets are increasing in flush order but flush order is arbitrary;
-	// sort by offset for one sequential scan.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && order[j].off < order[j-1].off; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
+	// Offsets are increasing in flush order but flush order is arbitrary
+	// (concurrent producers flush in scheduling order); sort by offset
+	// for one sequential scan.
+	sort.Slice(order, func(i, j int) bool { return order[i].off < order[j].off })
 	pos := int64(0)
 	for _, e := range order {
 		if e.off != pos {
