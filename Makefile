@@ -1,9 +1,12 @@
-# Targets mirror .github/workflows/ci.yml exactly so local runs and CI
-# can't drift: `make ci` is what the gate runs.
+# Targets mirror .github/workflows/ci.yml so local runs and CI can't
+# drift: `make ci` is CI's `test` job; the workflow's network-dependent
+# extras map to `make staticcheck` (needs the module proxy, so it is not
+# part of `ci` — sandboxes run offline) and `make bench-json` (the bench
+# artifact job).
 
 GO ?= go
 
-.PHONY: all build test bench fmt fmt-check vet quickstart ci
+.PHONY: all build test bench bench-json staticcheck fmt fmt-check vet quickstart ci
 
 all: build
 
@@ -17,6 +20,17 @@ test:
 # measurement (use `go test -bench=. -benchtime=1s` for numbers).
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# What CI's bench job runs: measured benchmarks converted to the
+# BENCH_ci.json trajectory artifact via cmd/benchjson. Two steps, no pipe,
+# so a failing benchmark fails the target instead of being masked.
+bench-json:
+	$(GO) test -run='^$$' -bench . -benchtime=3x -count=3 ./... > bench.txt
+	$(GO) run ./cmd/benchjson -o BENCH_ci.json bench.txt
+
+# Same pinned version as CI's staticcheck job.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 fmt:
 	gofmt -w .

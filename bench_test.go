@@ -5,6 +5,7 @@
 package motivo
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -286,6 +287,42 @@ func BenchmarkFig8AGSPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*2000)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// --- Parallel AGS: epoch-based sampling across urn clones ---------------
+
+// benchAGS measures end-to-end AGS sampling throughput (build excluded)
+// on the shared benchGraph workload; the parallel variants fan the same
+// budget across per-worker shape-urn clones with epoch barriers.
+func benchAGS(b *testing.B, workers int) {
+	g := benchGraph()
+	col, cat, out := buildFor(b, g, 5, true, 0)
+	urn, err := sample.NewUrn(g, col, out.tab, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := ags.Run(urn.Clone(), ags.Options{
+			CoverThreshold: 200,
+			Budget:         budget,
+			Workers:        workers,
+			Rng:            rand.New(rand.NewSource(int64(2001 + i))),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*budget)/b.Elapsed().Seconds(), "samples/s")
+}
+
+func BenchmarkAGSSequential(b *testing.B) { benchAGS(b, 1) }
+
+func BenchmarkAGSParallel(b *testing.B) {
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { benchAGS(b, w) })
+	}
 }
 
 // --- Ground truth (ESCAPE stand-in) -------------------------------------

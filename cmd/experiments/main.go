@@ -1,8 +1,9 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation (Section 5). Run with no flags for the full suite, or select
-// one experiment:
+// one experiment; -sample-workers fans the AGS sampling of the figure
+// reproductions out across goroutines:
 //
-//	experiments -exp fig8
+//	experiments -exp fig8 -sample-workers 8
 //	experiments -list
 package main
 
@@ -12,13 +13,20 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	sampleWorkers := flag.Int("sample-workers", 0, "AGS sampling goroutines (0/1 = sequential)")
 	flag.Parse()
+	if err := core.ValidateSampleWorkers(*sampleWorkers); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	experiments.SampleWorkers = *sampleWorkers
 
 	if *list {
 		ids := make([]string, 0, len(experiments.Registry))

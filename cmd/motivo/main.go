@@ -6,7 +6,7 @@
 //
 //	motivo gen   -type ba -n 10000 -m 5 -seed 1 -o graph.txt
 //	motivo build -i graph.txt -k 5
-//	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags
+//	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
 //	motivo exact -i graph.txt -k 4
 package main
 
@@ -19,6 +19,7 @@ import (
 	motivo "repro"
 	"repro/internal/build"
 	"repro/internal/coloring"
+	"repro/internal/core"
 	"repro/internal/treelet"
 )
 
@@ -160,8 +161,9 @@ func cmdCount(args []string) error {
 	k := fs.Int("k", 5, "graphlet size")
 	samples := fs.Int("samples", 100000, "per-coloring sampling budget")
 	colorings := fs.Int("colorings", 1, "independent colorings to average")
-	strategy := fs.String("strategy", "naive", "naive or ags")
-	cover := fs.Int("cover", 1000, "AGS covering threshold c̄")
+	strategy := fs.String("strategy", "naive", "sampling strategy: naive or ags")
+	cover := fs.Int("cover-threshold", 1000, "AGS covering threshold c̄")
+	sampleWorkers := fs.Int("sample-workers", 0, "sampling-phase goroutines (0/1 = sequential)")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
 	seed := fs.Int64("seed", 1, "run seed")
@@ -170,23 +172,25 @@ func cmdCount(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("count: -i is required")
 	}
+	strat, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
+	if err := core.ValidateCoverThreshold(*cover); err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
+	if err := core.ValidateSampleWorkers(*sampleWorkers); err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
 	g, err := loadGraph(*in)
 	if err != nil {
 		return err
 	}
-	var strat motivo.Strategy
-	switch *strategy {
-	case "naive":
-		strat = motivo.Naive
-	case "ags":
-		strat = motivo.AGS
-	default:
-		return fmt.Errorf("count: unknown strategy %q", *strategy)
-	}
 	res, err := motivo.Count(g, motivo.Options{
 		K: *k, Samples: *samples, Colorings: *colorings,
 		Strategy: strat, CoverThreshold: *cover,
-		Lambda: *lambda, Spill: *spill, Seed: *seed,
+		SampleWorkers: *sampleWorkers,
+		Lambda:        *lambda, Spill: *spill, Seed: *seed,
 	})
 	if err != nil {
 		return err

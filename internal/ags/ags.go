@@ -18,18 +18,46 @@
 // The weights w_i are maintained lazily: with n_j draws made while shape j
 // was active, w_i = Σ_j n_j σ_ij / r_j, which equals the pseudocode's
 // incremental updates but costs nothing for graphlets not yet observed.
+//
+// # Parallel execution
+//
+// With Options.Workers ≥ 2 the run is epoch-based: every worker owns a
+// clone of each shape urn (sample.ShapeUrn.CloneOnto over one sample.Urn
+// clone per worker, so all mutable sampling state is goroutine-local) and
+// draws a fixed-size batch of samples from the active shape. At the epoch
+// barrier the per-worker tallies are merged, the per-shape draw counters
+// n_j advance by the whole epoch, and cover detection plus the shape-switch
+// argmin run once on the merged state. Because the estimator only depends
+// on the counters n_j — not on which thread drew which sample — c_i/w_i is
+// exactly the sequential estimator; the only semantic difference is that
+// shape switches happen at epoch granularity instead of per draw.
+//
+// The covered mass Σ_{i∈C} σ_ij · ĝ_i consulted by the argmin is
+// maintained incrementally per shape: when a graphlet is covered (or a
+// covered graphlet's tally moves) only its own σ-row is folded in, instead
+// of rescanning all covered graphlets against all shapes at every cover
+// event. Snapshots ĝ_i are refreshed whenever the graphlet is re-drawn,
+// which keeps the heuristic current for exactly the graphlets the active
+// shape still hits.
 package ags
 
 import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/estimate"
 	"repro/internal/graphlet"
 	"repro/internal/sample"
 	"repro/internal/treelet"
 )
+
+// DefaultEpochSize is the per-worker batch size between epoch barriers
+// when Options.EpochSize is 0. Small enough that cover detection stays
+// responsive at the paper's c̄ = 1000, large enough that the barrier cost
+// is amortized over thousands of draws.
+const DefaultEpochSize = 256
 
 // Options configures an AGS run.
 type Options struct {
@@ -38,8 +66,19 @@ type Options struct {
 	CoverThreshold int
 	// Budget is the total number of samples to draw.
 	Budget int
-	// Rng drives all sampling; required.
+	// Rng drives all sampling; required. In parallel mode it only seeds
+	// the per-worker generators.
 	Rng *rand.Rand
+	// Workers parallelizes sampling across per-worker shape-urn clones.
+	// ≤ 1 samples sequentially with per-draw cover detection; ≥ 2 samples
+	// in epochs (see the package comment). Runs are deterministic for a
+	// fixed seed and worker count, but changing Workers changes the draw
+	// sequence.
+	Workers int
+	// EpochSize is the number of draws each worker makes between epoch
+	// barriers in parallel mode; 0 means DefaultEpochSize. Ignored when
+	// Workers ≤ 1.
+	EpochSize int
 }
 
 // DefaultOptions mirror the paper's experimental settings.
@@ -61,6 +100,91 @@ type Result struct {
 	Samples  int
 	Switches int
 	Covered  int
+	// Workers is the number of sampling goroutines used (1 = sequential).
+	Workers int
+	// Epochs is the number of merge barriers of a parallel run (0 when
+	// sequential).
+	Epochs int
+}
+
+// engine is the merged sampling state shared by the sequential and
+// epoch-parallel drivers. It is only ever touched by the coordinating
+// goroutine (between epochs, or inline in sequential mode).
+type engine struct {
+	shapes  []treelet.Treelet
+	rj      map[treelet.Treelet]float64
+	sigma   *estimate.SigmaShapes
+	nj      map[treelet.Treelet]int64
+	tallies map[graphlet.Code]int64
+	covered map[graphlet.Code]bool
+	// ghat is the ĝ_i snapshot currently folded into mass for each
+	// covered graphlet; mass[s] = Σ_{i∈C} σ_is · ghat[i].
+	ghat map[graphlet.Code]float64
+	mass map[treelet.Treelet]float64
+	cur  treelet.Treelet
+	res  *Result
+}
+
+// wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j.
+func (e *engine) wi(code graphlet.Code) float64 {
+	row := e.sigma.Of(code)
+	var w float64
+	for s, n := range e.nj {
+		if n == 0 {
+			continue
+		}
+		if sig, ok := row[s]; ok {
+			w += float64(n) * float64(sig) / e.rj[s]
+		}
+	}
+	return w
+}
+
+// refresh recomputes the covered graphlet's ĝ snapshot and folds the delta
+// into the per-shape covered mass — O(|σ-row|) instead of a full
+// covered×shapes rescan.
+func (e *engine) refresh(code graphlet.Code) {
+	w := e.wi(code)
+	if w == 0 {
+		return
+	}
+	g := float64(e.tallies[code]) / w
+	d := g - e.ghat[code]
+	if d == 0 {
+		return
+	}
+	for s, sig := range e.sigma.Of(code) {
+		if _, active := e.rj[s]; active {
+			e.mass[s] += float64(sig) * d
+		}
+	}
+	e.ghat[code] = g
+}
+
+// markCovered moves the graphlet into the covered set; its full σ_ij · ĝ_i
+// contribution enters the mass through refresh (ghat starts at 0).
+func (e *engine) markCovered(code graphlet.Code) {
+	e.covered[code] = true
+	e.res.Covered++
+	e.refresh(code)
+}
+
+// switchShape runs the argmin of pseudocode line 14 on the maintained
+// covered mass and activates the winning shape.
+func (e *engine) switchShape() {
+	next := e.cur
+	best := 0.0
+	for i, s := range e.shapes {
+		score := e.mass[s] / e.rj[s]
+		if i == 0 || score < best {
+			best = score
+			next = s
+		}
+	}
+	if next != e.cur {
+		e.res.Switches++
+		e.cur = next
+	}
 }
 
 // Run executes AGS on the urn.
@@ -70,6 +194,12 @@ func Run(urn *sample.Urn, opts Options) (*Result, error) {
 	}
 	if opts.CoverThreshold < 1 {
 		return nil, fmt.Errorf("ags: CoverThreshold must be ≥ 1, got %d", opts.CoverThreshold)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("ags: Workers must be ≥ 0, got %d", opts.Workers)
+	}
+	if opts.EpochSize < 0 {
+		return nil, fmt.Errorf("ags: EpochSize must be ≥ 0, got %d", opts.EpochSize)
 	}
 	if urn.Empty() {
 		return nil, fmt.Errorf("ags: urn is empty")
@@ -111,72 +241,167 @@ func Run(urn *sample.Urn, opts Options) (*Result, error) {
 		}
 	}
 
-	sigmaShapes := estimate.NewSigmaShapes(k, cat)
-	nj := make(map[treelet.Treelet]int64, len(shapes))
-	tallies := make(map[graphlet.Code]int64)
-	covered := make(map[graphlet.Code]bool)
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{
+		shapes:  shapes,
+		rj:      rj,
+		sigma:   estimate.NewSigmaShapes(k, cat),
+		nj:      make(map[treelet.Treelet]int64, len(shapes)),
+		tallies: make(map[graphlet.Code]int64),
+		covered: make(map[graphlet.Code]bool),
+		ghat:    make(map[graphlet.Code]float64),
+		mass:    make(map[treelet.Treelet]float64, len(shapes)),
+		cur:     cur,
+		res:     &Result{Workers: workers},
+	}
+	e.res.Tallies = e.tallies
 
-	// wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j.
-	wi := func(code graphlet.Code) float64 {
-		row := sigmaShapes.Of(code)
-		var w float64
-		for s, n := range nj {
-			if n == 0 {
-				continue
-			}
-			if sig, ok := row[s]; ok {
-				w += float64(n) * float64(sig) / rj[s]
-			}
-		}
-		return w
+	if workers == 1 {
+		runSequential(e, urns, opts)
+	} else {
+		runParallel(e, urn, urns, opts, workers)
 	}
 
-	res := &Result{Tallies: tallies}
-	for step := 0; step < opts.Budget; step++ {
-		nj[cur]++ // weight update precedes the draw (pseudocode lines 7–9)
-		code, _ := urns[cur].Sample(opts.Rng)
-		tallies[code]++
-		if int(tallies[code]) == opts.CoverThreshold && !covered[code] {
-			covered[code] = true
-			res.Covered++
-			// Switch to the shape least likely to span covered graphlets.
-			next := cur
-			best := 0.0
-			for i, s := range shapes {
-				var mass float64
-				for c := range covered {
-					if sig, ok := sigmaShapes.Of(c)[s]; ok {
-						w := wi(c)
-						if w > 0 {
-							mass += float64(sig) * float64(tallies[c]) / w
-						}
-					}
-				}
-				score := mass / rj[s]
-				if i == 0 || score < best {
-					best = score
-					next = s
-				}
-			}
-			if next != cur {
-				res.Switches++
-				cur = next
-			}
-		}
-		res.Samples++
-	}
-
-	res.ColorfulEstimates = make(estimate.Counts, len(tallies))
-	res.Estimates = make(estimate.Counts, len(tallies))
+	e.res.ColorfulEstimates = make(estimate.Counts, len(e.tallies))
+	e.res.Estimates = make(estimate.Counts, len(e.tallies))
 	pk := urn.Col.PColorful
-	for code, c := range tallies {
-		w := wi(code)
+	for code, c := range e.tallies {
+		w := e.wi(code)
 		if w == 0 {
 			continue
 		}
 		colorful := float64(c) / w
-		res.ColorfulEstimates[code] = colorful
-		res.Estimates[code] = colorful / pk
+		e.res.ColorfulEstimates[code] = colorful
+		e.res.Estimates[code] = colorful / pk
 	}
-	return res, nil
+	return e.res, nil
+}
+
+// runSequential is the classic one-draw-at-a-time loop: cover detection
+// after every sample, shape switches the moment a graphlet reaches c̄.
+func runSequential(e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options) {
+	// Covered graphlets re-drawn since their last ĝ snapshot; refreshed in
+	// bulk before the next switch decision.
+	stale := make(map[graphlet.Code]bool)
+	for step := 0; step < opts.Budget; step++ {
+		e.nj[e.cur]++ // weight update precedes the draw (pseudocode lines 7–9)
+		code, _ := urns[e.cur].Sample(opts.Rng)
+		e.tallies[code]++
+		if e.covered[code] {
+			stale[code] = true
+		} else if e.tallies[code] >= int64(opts.CoverThreshold) {
+			refreshStale(e, stale)
+			e.markCovered(code)
+			e.switchShape()
+		}
+		e.res.Samples++
+	}
+}
+
+// refreshStale folds the pending ĝ updates into the covered mass in
+// deterministic (sorted-code) order, so float summation order — and with
+// it the argmin on near-ties — cannot vary between identical runs.
+func refreshStale(e *engine, stale map[graphlet.Code]bool) {
+	if len(stale) == 0 {
+		return
+	}
+	codes := make([]graphlet.Code, 0, len(stale))
+	for c := range stale {
+		codes = append(codes, c)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Less(codes[j]) })
+	for _, c := range codes {
+		e.refresh(c)
+		delete(stale, c)
+	}
+}
+
+// runParallel is the epoch-based driver described in the package comment.
+func runParallel(e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.ShapeUrn, opts Options, workers int) {
+	batch := opts.EpochSize
+	if batch == 0 {
+		batch = DefaultEpochSize
+	}
+	type workerState struct {
+		urns map[treelet.Treelet]*sample.ShapeUrn
+		rng  *rand.Rand
+	}
+	ws := make([]*workerState, workers)
+	for w := range ws {
+		clone := urn.Clone()
+		urns := make(map[treelet.Treelet]*sample.ShapeUrn, len(master))
+		for s, su := range master {
+			urns[s] = su.CloneOnto(clone)
+		}
+		// Seeding draws happen in worker order so the run is reproducible
+		// for a fixed (seed, workers) pair.
+		ws[w] = &workerState{urns: urns, rng: rand.New(rand.NewSource(opts.Rng.Int63()))}
+	}
+
+	locals := make([]map[graphlet.Code]int64, workers)
+	for remaining := opts.Budget; remaining > 0; {
+		epoch := workers * batch
+		if epoch > remaining {
+			epoch = remaining
+		}
+		base, extra := epoch/workers, epoch%workers
+		var wg sync.WaitGroup
+		for w := range ws {
+			n := base
+			if w < extra {
+				n++
+			}
+			locals[w] = nil
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(st *workerState, w, n int) {
+				defer wg.Done()
+				su := st.urns[e.cur]
+				local := make(map[graphlet.Code]int64)
+				for i := 0; i < n; i++ {
+					code, _ := su.Sample(st.rng)
+					local[code]++
+				}
+				locals[w] = local
+			}(ws[w], w, n)
+		}
+		wg.Wait()
+
+		// Merge at the barrier: counters first (wi must see the whole
+		// epoch), then cover detection in sorted-code order so float
+		// accumulation into the covered mass is deterministic.
+		e.nj[e.cur] += int64(epoch)
+		epochTallies := make(map[graphlet.Code]int64)
+		for _, local := range locals {
+			for c, n := range local {
+				epochTallies[c] += n
+			}
+		}
+		codes := make([]graphlet.Code, 0, len(epochTallies))
+		for c := range epochTallies {
+			codes = append(codes, c)
+			e.tallies[c] += epochTallies[c]
+		}
+		sort.Slice(codes, func(i, j int) bool { return codes[i].Less(codes[j]) })
+		newlyCovered := false
+		for _, c := range codes {
+			if e.covered[c] {
+				e.refresh(c)
+			} else if e.tallies[c] >= int64(opts.CoverThreshold) {
+				e.markCovered(c)
+				newlyCovered = true
+			}
+		}
+		if newlyCovered {
+			e.switchShape()
+		}
+		e.res.Samples += epoch
+		e.res.Epochs++
+		remaining -= epoch
+	}
 }

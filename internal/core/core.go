@@ -41,6 +41,42 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// ParseStrategy converts a strategy name (as accepted by CLI flags) into a
+// Strategy; it is the inverse of Strategy.String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "naive":
+		return Naive, nil
+	case "ags":
+		return AGS, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q (want naive or ags)", name)
+}
+
+// ValidateCoverThreshold checks the AGS covering threshold c̄: it must be
+// ≥ 1. (Config.CoverThreshold additionally accepts 0 as "use the paper's
+// default of 1000".)
+func ValidateCoverThreshold(c int) error {
+	if c < 1 {
+		return fmt.Errorf("core: cover threshold must be ≥ 1, got %d", c)
+	}
+	return nil
+}
+
+// MaxSampleWorkers bounds the sampling-phase worker count; beyond a few
+// hundred goroutines the epoch barrier dominates and a larger value is
+// almost certainly a misparsed flag.
+const MaxSampleWorkers = 1024
+
+// ValidateSampleWorkers checks the sampling-phase worker count: 0 and 1
+// both mean sequential, anything up to MaxSampleWorkers fans out.
+func ValidateSampleWorkers(w int) error {
+	if w < 0 || w > MaxSampleWorkers {
+		return fmt.Errorf("core: sample workers must be in [0, %d], got %d", MaxSampleWorkers, w)
+	}
+	return nil
+}
+
 // Config parameterizes a counting run.
 type Config struct {
 	// K is the graphlet size (2 ≤ K ≤ treelet.MaxK).
@@ -61,11 +97,12 @@ type Config struct {
 	Seed int64
 	// Workers for the build-up phase; 0 = GOMAXPROCS.
 	Workers int
-	// SampleWorkers parallelizes naive sampling across urn clones
+	// SampleWorkers parallelizes the sampling phase across urn clones
 	// ("samples are by definition independent and are taken by different
-	// threads", Section 3.3). ≤ 1 samples sequentially. AGS is inherently
-	// sequential (the shape switch depends on the sample history) and
-	// ignores this.
+	// threads", Section 3.3). ≤ 1 samples sequentially. Naive sampling
+	// fans the whole budget out; AGS runs epoch-based (per-worker batches
+	// merged at barriers where cover detection and the shape switch run —
+	// see package ags).
 	SampleWorkers int
 	// Spill enables greedy flushing of the count table to temp files.
 	Spill bool
@@ -109,9 +146,15 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 	}
+	if err := ValidateSampleWorkers(cfg.SampleWorkers); err != nil {
+		return nil, err
+	}
 	cover := cfg.CoverThreshold
 	if cover == 0 {
 		cover = 1000
+	}
+	if err := ValidateCoverThreshold(cover); err != nil {
+		return nil, err
 	}
 	cat := treelet.NewCatalog(cfg.K)
 	res := &Result{Counts: make(estimate.Counts)}
@@ -165,6 +208,7 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 				CoverThreshold: cover,
 				Budget:         cfg.SamplesPerColoring,
 				Rng:            rng,
+				Workers:        cfg.SampleWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -41,6 +41,44 @@ func TestStrategyString(t *testing.T) {
 	}
 }
 
+func TestParseStrategy(t *testing.T) {
+	for _, s := range []Strategy{Naive, AGS} {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseStrategy("exhaustive"); err == nil {
+		t.Error("unknown strategy name must fail")
+	}
+}
+
+func TestFlagValidators(t *testing.T) {
+	if err := ValidateCoverThreshold(1); err != nil {
+		t.Errorf("cover threshold 1 rejected: %v", err)
+	}
+	if err := ValidateCoverThreshold(0); err == nil {
+		t.Error("cover threshold 0 accepted")
+	}
+	for _, w := range []int{0, 1, MaxSampleWorkers} {
+		if err := ValidateSampleWorkers(w); err != nil {
+			t.Errorf("sample workers %d rejected: %v", w, err)
+		}
+	}
+	for _, w := range []int{-1, MaxSampleWorkers + 1} {
+		if err := ValidateSampleWorkers(w); err == nil {
+			t.Errorf("sample workers %d accepted", w)
+		}
+	}
+	g := gen.ErdosRenyi(30, 90, 53)
+	if _, err := Count(g, Config{K: 3, Colorings: 1, SamplesPerColoring: 10, SampleWorkers: -2}); err == nil {
+		t.Error("Count accepted negative SampleWorkers")
+	}
+	if _, err := Count(g, Config{K: 3, Colorings: 1, SamplesPerColoring: 10, Strategy: AGS, CoverThreshold: -1}); err == nil {
+		t.Error("Count accepted negative CoverThreshold")
+	}
+}
+
 func TestNaiveAndAGSAgreeWithExact(t *testing.T) {
 	g := gen.ErdosRenyi(60, 180, 3)
 	truth, err := exact.Count(g, 4)
@@ -155,6 +193,41 @@ func TestParallelSamplingMatchesSequential(t *testing.T) {
 	for c, v := range par.Counts {
 		if par2.Counts[c] != v {
 			t.Fatalf("parallel run not deterministic for %v", c)
+		}
+	}
+}
+
+// TestParallelAGSThroughCore exercises the epoch-based AGS path end to
+// end through core.Count: accurate vs exact ground truth and
+// deterministic for a fixed (seed, workers) pair.
+func TestParallelAGSThroughCore(t *testing.T) {
+	g := gen.ErdosRenyi(60, 180, 31)
+	truth, err := exact.Count(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		K: 4, Colorings: 4, SamplesPerColoring: 20000,
+		Strategy: AGS, CoverThreshold: 400,
+		SampleWorkers: 4, Seed: 41,
+	}
+	par, err := Count(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 := estimate.L1(par.Counts, truth); l1 > 0.12 {
+		t.Errorf("parallel AGS ℓ1 = %.3f", l1)
+	}
+	if par.Samples != 4*20000 {
+		t.Errorf("samples = %d", par.Samples)
+	}
+	par2, err := Count(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range par.Counts {
+		if par2.Counts[c] != v {
+			t.Fatalf("parallel AGS run not deterministic for %v", c)
 		}
 	}
 }

@@ -321,8 +321,16 @@ func Fig7Scaling(w io.Writer) {
 	}
 }
 
+// SampleWorkers fans the AGS sampling of the figure reproductions out
+// across this many goroutines (epoch-based; see package ags). 0 keeps the
+// sequential reference behavior. The single injection point for
+// cmd/experiments's -sample-workers flag, set once before any experiment
+// runs (the Registry signature func(io.Writer) leaves no room to pass it
+// per call); helpers take it as an explicit parameter from here on.
+var SampleWorkers int
+
 // AGSRun bundles an AGS invocation for figures 8-10.
-func agsRun(g *graph.Graph, k int, seed int64, budget, cover int) (*ags.Result, *coloring.Coloring) {
+func agsRun(g *graph.Graph, k int, seed int64, budget, cover, workers int) (*ags.Result, *coloring.Coloring) {
 	col := coloring.Uniform(g.NumNodes(), k, seed)
 	cat := treelet.NewCatalog(k)
 	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
@@ -333,7 +341,11 @@ func agsRun(g *graph.Graph, k int, seed int64, budget, cover int) (*ags.Result, 
 	if err != nil {
 		panic(err)
 	}
-	out, err := ags.Run(urn, ags.Options{CoverThreshold: cover, Budget: budget, Rng: rand.New(rand.NewSource(seed ^ 0xABCD))})
+	out, err := ags.Run(urn, ags.Options{
+		CoverThreshold: cover, Budget: budget,
+		Rng:     rand.New(rand.NewSource(seed ^ 0xABCD)),
+		Workers: workers,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -409,7 +421,7 @@ func averageNaive(g *graph.Graph, k, budget, runs int) estimate.Counts {
 func averageAGS(g *graph.Graph, k, budget, runs int) estimate.Counts {
 	sum := make(estimate.Counts)
 	for r := 0; r < runs; r++ {
-		out, col := agsRun(g, k, int64(500+r), budget, 500)
+		out, col := agsRun(g, k, int64(500+r), budget, 500, SampleWorkers)
 		for c, v := range out.ColorfulEstimates {
 			sum[c] += v / col.PColorful / float64(runs)
 		}
@@ -464,7 +476,7 @@ func Fig10RarestGraphlet(w io.Writer) {
 		// Reference frequencies: AGS's own estimates (the paper likewise
 		// reads frequencies off its estimates for graphs without ground
 		// truth).
-		out, col := agsRun(g, k, 601, budget, 1000)
+		out, col := agsRun(g, k, 601, budget, 1000, SampleWorkers)
 		ref := make(estimate.Counts)
 		for c, v := range out.ColorfulEstimates {
 			ref[c] = v / col.PColorful

@@ -24,6 +24,30 @@ func (u *Urn) Clone() *Urn {
 	}
 }
 
+// CloneOnto returns a ShapeUrn that shares s's immutable root-alias state
+// (roots, alias table, rootings, total) but materializes copies through u,
+// so neighbor buffers and the canonicalization cache stay goroutine-local.
+// u must be a Clone of the Urn the shape urn was built from (same graph,
+// table and catalog); the per-shape alias state is valid only against that
+// table.
+func (s *ShapeUrn) CloneOnto(u *Urn) *ShapeUrn {
+	return &ShapeUrn{
+		Shape:     s.Shape,
+		urn:       u,
+		rootings:  s.rootings,
+		roots:     s.roots,
+		rootAlias: s.rootAlias,
+		total:     s.total,
+	}
+}
+
+// Clone returns an independent ShapeUrn backed by a fresh clone of its
+// parent Urn. Unlike NewShapeUrn it costs O(1): the expensive per-shape
+// root weighting is shared, only the mutable sampling state is new. Use
+// one clone per goroutine — epoch-based parallel AGS hands every worker
+// its own clone of each shape urn.
+func (s *ShapeUrn) Clone() *ShapeUrn { return s.CloneOnto(s.urn.Clone()) }
+
 // ShapeWeights exposes per-shape totals r_j as float64 for diagnostics and
 // experiments (keyed by unrooted canonical shape).
 func (u *Urn) ShapeWeights() map[treelet.Treelet]float64 {

@@ -56,6 +56,96 @@ func TestCloneParallelSampling(t *testing.T) {
 	}
 }
 
+// testShapeUrn picks a shape with colorful occurrences and builds its urn.
+func testShapeUrn(t *testing.T, u *Urn) *ShapeUrn {
+	t.Helper()
+	for _, s := range u.Cat.UnrootedK {
+		su, err := u.NewShapeUrn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !su.Empty() {
+			return su
+		}
+	}
+	t.Fatal("no shape with colorful occurrences")
+	return nil
+}
+
+// TestShapeUrnCloneIdenticalSequence: a clone shares the alias state and
+// starts with empty buffers, so with the same rng it must reproduce the
+// original's draw sequence exactly.
+func TestShapeUrnCloneIdenticalSequence(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 91)
+	u := buildUrn(t, g, 4, 97)
+	su := testShapeUrn(t, u)
+	clone := su.Clone()
+	if clone.Total() != su.Total() {
+		t.Fatalf("clone total %v != original %v", clone.Total(), su.Total())
+	}
+	if clone.Shape != su.Shape {
+		t.Fatalf("clone shape %v != original %v", clone.Shape, su.Shape)
+	}
+	a := rand.New(rand.NewSource(101))
+	b := rand.New(rand.NewSource(101))
+	for i := 0; i < 5000; i++ {
+		ca, _ := su.Sample(a)
+		cb, _ := clone.Sample(b)
+		if ca != cb {
+			t.Fatalf("draw %d diverged: %v vs %v", i, ca, cb)
+		}
+	}
+}
+
+// TestShapeUrnCloneOntoParallel: per-goroutine shape-urn clones over
+// per-goroutine Urn clones must be race-free (run under -race) and agree
+// with the original's frequency distribution.
+func TestShapeUrnCloneOntoParallel(t *testing.T) {
+	g := gen.BarabasiAlbert(120, 3, 103)
+	u := buildUrn(t, g, 4, 107)
+	su := testShapeUrn(t, u)
+	const workers = 4
+	const perWorker = 2000
+
+	var mu sync.Mutex
+	merged := make(map[graphlet.Code]int64)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(map[graphlet.Code]int64)
+			clone := su.CloneOnto(u.Clone())
+			rng := rand.New(rand.NewSource(int64(109 + w)))
+			for i := 0; i < perWorker; i++ {
+				code, _ := clone.Sample(rng)
+				local[code]++
+			}
+			mu.Lock()
+			for c, n := range local {
+				merged[c] += n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	rng := rand.New(rand.NewSource(113))
+	ref := make(map[graphlet.Code]int64)
+	for i := 0; i < workers*perWorker; i++ {
+		code, _ := su.Sample(rng)
+		ref[code]++
+	}
+	total := float64(workers * perWorker)
+	for c, n := range ref {
+		fRef := float64(n) / total
+		fPar := float64(merged[c]) / total
+		if fRef > 0.05 && math.Abs(fRef-fPar) > 0.05 {
+			t.Errorf("clone frequency diverges for %v: %.3f vs %.3f", c, fPar, fRef)
+		}
+	}
+}
+
 func TestShapeWeightsSumToTotal(t *testing.T) {
 	g := gen.BarabasiAlbert(100, 3, 83)
 	u := buildUrn(t, g, 4, 89)

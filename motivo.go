@@ -112,6 +112,12 @@ type Options struct {
 	Seed int64
 	// Workers bounds build-phase parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// SampleWorkers parallelizes the sampling phase across urn clones:
+	// naive sampling fans the budget out, AGS samples in epochs (per-worker
+	// batches merged at barriers, where cover detection and the adaptive
+	// shape switch run). ≤ 1 samples sequentially. Runs are deterministic
+	// for a fixed Seed and SampleWorkers value.
+	SampleWorkers int
 	// Spill streams the count table through temp files (greedy flushing).
 	Spill bool
 }
@@ -183,6 +189,7 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		BiasedLambda:       opts.Lambda,
 		Seed:               opts.Seed,
 		Workers:            opts.Workers,
+		SampleWorkers:      opts.SampleWorkers,
 		Spill:              opts.Spill,
 	})
 	if err != nil {

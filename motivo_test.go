@@ -45,6 +45,26 @@ func TestCountAGSEndToEnd(t *testing.T) {
 	}
 }
 
+func TestCountAGSParallelOption(t *testing.T) {
+	g := StarHeavy(1, 300, 30, 5)
+	seq, err := Count(g, Options{K: 4, Samples: 10000, Strategy: AGS, CoverThreshold: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Count(g, Options{K: 4, Samples: 10000, Strategy: AGS, CoverThreshold: 300, Seed: 11, SampleWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Samples != seq.Samples {
+		t.Errorf("parallel samples %d != sequential %d", par.Samples, seq.Samples)
+	}
+	// Both arms must agree on the dominant graphlet.
+	st, pt := seq.Top(1), par.Top(1)
+	if len(pt) != 1 || !graphlet.IsStar(4, pt[0].Code) || pt[0].Code != st[0].Code {
+		t.Errorf("parallel AGS top graphlet diverges: %v vs %v", pt, st)
+	}
+}
+
 func TestTopOrderingAndTruncation(t *testing.T) {
 	g := ErdosRenyi(30, 80, 13)
 	res, err := Count(g, Options{K: 4, Samples: 5000, Seed: 17})
