@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json staticcheck fmt fmt-check vet quickstart ci
+.PHONY: all build test bench bench-json fuzz staticcheck fmt fmt-check vet quickstart ci
 
 all: build
 
@@ -15,6 +15,11 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# CI's fuzz smoke: a short coverage-guided run of the packed-codec
+# round-trip target.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=Fuzz -fuzztime=10s ./internal/table
 
 # One iteration of every benchmark: a compile-and-run smoke pass, not a
 # measurement (use `go test -bench=. -benchtime=1s` for numbers).
@@ -46,4 +51,4 @@ vet:
 quickstart:
 	$(GO) run ./examples/quickstart
 
-ci: fmt-check vet build test bench quickstart
+ci: fmt-check vet build test fuzz bench quickstart

@@ -325,6 +325,77 @@ func BenchmarkAGSParallel(b *testing.B) {
 	}
 }
 
+// --- Storage engine: packed table size and build/open -------------------
+
+// storageGraph is the benchmark ER workload of the size acceptance test.
+func storageGraph() *graph.Graph { return gen.ErdosRenyi(800, 2400, 1033) }
+
+// BenchmarkTableBytesPerPair tracks the packed table's memory footprint:
+// bytes/pair is the succinctness headline (the dense slice layout was 24),
+// so BENCH_ci.json records memory regressions alongside time.
+func BenchmarkTableBytesPerPair(b *testing.B) {
+	g := storageGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1007)
+	cat := treelet.NewCatalog(5)
+	var bytes, pairs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := build.Run(g, col, 5, cat, build.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes, pairs = stats.TableBytes, stats.Pairs
+	}
+	b.ReportMetric(float64(bytes)/float64(pairs), "bytes/pair")
+}
+
+// benchBuiltTable builds the storage workload once, for the save/open
+// benches.
+func benchBuiltTable(b *testing.B) (*table.Table, *coloring.Coloring) {
+	b.Helper()
+	g := storageGraph()
+	col := coloring.Uniform(g.NumNodes(), 5, 1007)
+	tab, _, err := build.Run(g, col, 5, treelet.NewCatalog(5), build.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab, col
+}
+
+// BenchmarkTableSave measures persisting the arena + index to disk (the
+// "build once" half of the serving workflow).
+func BenchmarkTableSave(b *testing.B) {
+	tab, col := benchBuiltTable(b)
+	path := b.TempDir() + "/bench.tbl"
+	var n int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if n, err = table.SaveFile(path, tab, col); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(n)
+}
+
+// BenchmarkTableOpen measures opening a persisted table — the cost every
+// "query many" run pays instead of a build (compare BenchmarkFig3BuildMotivo).
+func BenchmarkTableOpen(b *testing.B) {
+	tab, col := benchBuiltTable(b)
+	path := b.TempDir() + "/bench.tbl"
+	n, err := table.SaveFile(path, tab, col)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := table.LoadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ground truth (ESCAPE stand-in) -------------------------------------
 
 func BenchmarkExactESU(b *testing.B) {

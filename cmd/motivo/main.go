@@ -5,9 +5,13 @@
 // Usage:
 //
 //	motivo gen   -type ba -n 10000 -m 5 -seed 1 -o graph.txt
-//	motivo build -i graph.txt -k 5
+//	motivo build -i graph.txt -k 5 -o graph.tbl
 //	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
+//	motivo count -i graph.txt -k 5 -table graph.tbl -samples 100000
 //	motivo exact -i graph.txt -k 4
+//
+// `build -o` persists the count table; `count -table` opens it and skips
+// the build — build once, query many.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/table"
 	"repro/internal/treelet"
 )
 
@@ -115,6 +120,7 @@ func cmdBuild(args []string) error {
 	seed := fs.Int64("seed", 1, "coloring seed")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
+	out := fs.String("o", "", "persist the count table (arena + index + coloring) to this file")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("build: -i is required")
@@ -147,10 +153,20 @@ func cmdBuild(args []string) error {
 	fmt.Printf("graph:            %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	fmt.Printf("build time:       %v\n", stats.Duration.Round(1e6))
 	fmt.Printf("check-and-merge:  %d ops\n", stats.CheckMergeOps)
-	fmt.Printf("table:            %d pairs, %.1f MiB\n", stats.Pairs, float64(stats.TableBytes)/(1<<20))
+	fmt.Printf("table:            %d pairs, %.1f MiB (%.2f bytes/pair)\n",
+		stats.Pairs, float64(stats.TableBytes)/(1<<20),
+		float64(stats.TableBytes)/float64(max(stats.Pairs, 1)))
 	fmt.Printf("colorful k-trees: %v\n", tab.TotalK())
 	for h := 2; h <= *k; h++ {
 		fmt.Printf("  level %d: %v\n", h, stats.LevelTime[h].Round(1e6))
+	}
+	if *out != "" {
+		n, err := table.SaveFile(*out, tab, col)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("saved:            %s (%.1f MiB) — query it with `motivo count -i %s -table %s -k %d -seed %d`\n",
+			*out, float64(n)/(1<<20), *in, *out, *k, *seed)
 	}
 	return nil
 }
@@ -166,6 +182,7 @@ func cmdCount(args []string) error {
 	sampleWorkers := fs.Int("sample-workers", 0, "sampling-phase goroutines (0/1 = sequential)")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
+	tablePath := fs.String("table", "", "open a persisted count table (`motivo build -o`) instead of building")
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
 	fs.Parse(args)
@@ -182,6 +199,17 @@ func cmdCount(args []string) error {
 	if err := core.ValidateSampleWorkers(*sampleWorkers); err != nil {
 		return fmt.Errorf("count: %w", err)
 	}
+	if *tablePath != "" {
+		if *colorings > 1 {
+			return fmt.Errorf("count: -table serves one saved coloring; -colorings %d is incompatible", *colorings)
+		}
+		if *lambda > 0 {
+			return fmt.Errorf("count: -lambda has no effect with -table (the saved coloring is used)")
+		}
+		if *spill {
+			return fmt.Errorf("count: -spill is a build-phase option; it has no effect with -table")
+		}
+	}
 	g, err := loadGraph(*in)
 	if err != nil {
 		return err
@@ -191,12 +219,17 @@ func cmdCount(args []string) error {
 		Strategy: strat, CoverThreshold: *cover,
 		SampleWorkers: *sampleWorkers,
 		Lambda:        *lambda, Spill: *spill, Seed: *seed,
+		TablePath: *tablePath,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("build %v, sampling %v, %d samples, table %.1f MiB, %d distinct graphlets\n",
-		res.BuildTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
+	phase := "build"
+	if *tablePath != "" {
+		phase = "table open"
+	}
+	fmt.Printf("%s %v, sampling %v, %d samples, table %.1f MiB, %d distinct graphlets\n",
+		phase, res.BuildTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
 		float64(res.TableBytes)/(1<<20), len(res.Counts))
 	for i, e := range res.Top(*top) {
 		fmt.Printf("%3d. %-30s %14.4g  (%8.5f%%)\n",

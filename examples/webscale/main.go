@@ -2,12 +2,18 @@
 // a heavy-tailed graph with hundreds of thousands of edges, counted at
 // k=6 with biased coloring (Section 3.4) and greedy flushing of the table
 // through disk (Section 3.1), the two levers motivo uses to reach
-// billion-edge graphs on 64 GB machines.
+// billion-edge graphs on 64 GB machines — combined with the storage
+// engine's serving workflow: the packed count table is built and persisted
+// ONCE, then every query opens it with one sequential read and goes
+// straight to sampling. That is the shape of a production deployment: a
+// periodic (expensive) build job feeding many (cheap) query processes.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	motivo "repro"
 )
@@ -18,33 +24,65 @@ func main() {
 		g.NumNodes(), g.NumEdges(), g.MaxDegree())
 
 	const k = 6
-	for _, cfg := range []struct {
-		name   string
-		lambda float64
+	buildOpts := motivo.Options{
+		K:      k,
+		Lambda: 0.08, // biased coloring: shrinks the table (Section 3.4)
+		Spill:  true, // greedy flushing through temp files (Section 3.1)
+		Seed:   17,
+	}
+
+	// Build once: the expensive color-coding phase runs a single time and
+	// the packed table (arena + offset index + coloring) lands on disk.
+	dir, err := os.MkdirTemp("", "motivo-webscale-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "graph.tbl")
+	info, err := motivo.BuildTable(g, buildOpts, path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n[build once]\n")
+	fmt.Printf("  build %v, %d pairs packed into %.1f MiB (%.2f bytes/pair)\n",
+		info.BuildTime.Round(1e6), info.Pairs,
+		float64(info.TableBytes)/(1<<20),
+		float64(info.TableBytes)/float64(info.Pairs))
+	fmt.Printf("  persisted to %s (%.1f MiB)\n", path, float64(info.FileBytes)/(1<<20))
+
+	// Query many: each request opens the saved table and samples — no
+	// rebuild, whatever the strategy or budget.
+	queries := []struct {
+		name     string
+		strategy motivo.Strategy
+		samples  int
 	}{
-		{"uniform coloring", 0},
-		{"biased coloring λ=0.08", 0.08},
-	} {
+		{"naive, 50k samples", motivo.Naive, 50000},
+		{"naive, 20k samples", motivo.Naive, 20000},
+		{"AGS, 50k samples", motivo.AGS, 50000},
+	}
+	for _, q := range queries {
 		res, err := motivo.Count(g, motivo.Options{
-			K:       k,
-			Samples: 50000,
-			Lambda:  cfg.lambda,
-			Spill:   true, // greedy flushing through temp files
-			Seed:    17,
+			K:         k,
+			Samples:   q.samples,
+			Strategy:  q.strategy,
+			Seed:      17,
+			TablePath: path,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\n[%s]\n", cfg.name)
-		fmt.Printf("  build %v, sampling %v, table %.1f MiB, %d samples\n",
-			res.BuildTime.Round(1e6), res.SampleTime.Round(1e6),
-			float64(res.TableBytes)/(1<<20), res.Samples)
+		fmt.Printf("\n[query: %s]\n", q.name)
+		fmt.Printf("  table open %v (vs %v build), sampling %v, %d samples\n",
+			res.BuildTime.Round(1e6), info.BuildTime.Round(1e6),
+			res.SampleTime.Round(1e6), res.Samples)
 		fmt.Printf("  distinct %d-graphlets observed: %d\n", k, len(res.Counts))
-		for i, e := range res.Top(5) {
+		for i, e := range res.Top(3) {
 			fmt.Printf("  %d. %-24s %12.4g copies (%6.3f%%)\n",
 				i+1, motivo.Describe(k, e.Code), e.Count, 100*e.Frequency)
 		}
 	}
-	fmt.Println("\nBiased coloring shrinks the count table (fewer colorful copies")
-	fmt.Println("survive) at a bounded accuracy cost — compare the table sizes above.")
+	fmt.Println("\nThe build ran once; every query paid only a sequential table")
+	fmt.Println("open. Biased coloring shrank the table before it was packed —")
+	fmt.Println("the two levers compose.")
 }

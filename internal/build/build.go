@@ -205,32 +205,41 @@ func (b *builder) topLevelSkip(h int, v int32) bool {
 // levelOne seeds the base case: one pair (Leaf, {color(v)}) ↦ 1 per node.
 func (b *builder) levelOne() error {
 	lvl := time.Now()
+	var p table.Pairs
 	for v := int32(0); int(v) < b.g.NumNodes(); v++ {
 		if b.topLevelSkip(1, v) {
 			continue
 		}
-		b.tab.Recs[1][v] = table.Record{
-			Keys: []treelet.Colored{treelet.MakeColored(treelet.Leaf, treelet.Singleton(b.col.Of(v)))},
-			Cum:  []u128.Uint128{u128.One},
-		}
+		p.Reset()
+		p.Append(treelet.MakeColored(treelet.Leaf, treelet.Singleton(b.col.Of(v))), u128.One)
+		b.tab.SetRec(1, v, &p)
 	}
 	b.stats.LevelTime[1] = time.Since(lvl)
 	return nil
 }
 
 // level runs the size-h pass: the worker pool shards nodes, each worker
-// accumulates records from completed lower levels, and (optionally) the
-// spill path streams completed records to disk.
+// accumulates records from completed lower levels, encodes them into
+// packed form, and hands the bytes to a sink — the in-memory level arena,
+// or (with spilling) a temp file whose contents become the arena after the
+// pass. Either way Table.SetLevel compacts the level into node order, so
+// the resulting table is byte-identical regardless of scheduling and sink.
 func (b *builder) level(h int) error {
 	lvl := time.Now()
-	var spill *spillSink
+	n := b.g.NumNodes()
+	var (
+		spill *spillSink
+		mem   *table.LevelWriter
+	)
 	if b.opts.spillEnabled() {
-		s, err := newSpillSink(b.opts.SpillDir, b.g.NumNodes())
+		s, err := newSpillSink(b.opts.SpillDir, n)
 		if err != nil {
 			return err
 		}
 		spill = s
 		defer spill.close()
+	} else {
+		mem = table.NewLevelWriter(n)
 	}
 
 	var (
@@ -238,7 +247,6 @@ func (b *builder) level(h int) error {
 		buffered int64
 		firstErr atomic.Value
 	)
-	n := b.g.NumNodes()
 	parallelFor(n, b.opts.workers(), func(lo, hi int) {
 		w := newWorker(b, h)
 		for v := lo; v < hi; v++ {
@@ -253,14 +261,17 @@ func (b *builder) level(h int) error {
 			if rec.Len() == 0 {
 				continue
 			}
+			// Encode outside any lock; both sinks copy, so the buffer is
+			// reusable immediately.
+			w.enc = table.AppendRecord(w.enc[:0], rec)
 			if spill != nil {
-				if err := spill.flush(node, rec); err != nil {
+				if err := spill.flush(node, w.enc); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
 				continue // memory released: the record lives on disk now
 			}
-			b.tab.Recs[h][node] = rec
+			mem.Add(node, w.enc)
 		}
 		atomic.AddInt64(&ops, w.ops)
 		atomic.AddInt64(&buffered, w.buffered)
@@ -274,24 +285,35 @@ func (b *builder) level(h int) error {
 	if spill != nil {
 		// The sequential second pass: reload the level to serve as input
 		// for the next one.
-		recs, err := spill.loadAll()
+		arena, starts, err := spill.loadAll()
 		if err != nil {
 			return err
 		}
-		b.tab.Recs[h] = recs
+		if err := b.tab.SetLevel(h, arena, starts); err != nil {
+			return err
+		}
 		b.stats.SpillBytes += spill.size()
+	} else if err := mem.Install(b.tab, h); err != nil {
+		return err
 	}
 	b.stats.LevelTime[h] = time.Since(lvl)
 	return nil
 }
 
 // worker is the per-goroutine state of the level pass: the accumulation
-// map and local stat counters (merged once at the end, so the hot loop is
+// map, reusable decode/encode scratch (lower levels are packed; each
+// record consulted is decoded once into slice form before the inner loop),
+// and local stat counters (merged once at the end, so the hot loop is
 // contention-free).
 type worker struct {
 	b   *builder
 	h   int
 	acc map[treelet.Colored]u128.Uint128
+
+	rvBuf  table.Pairs // decoded remainder-side record of v
+	ruBuf  table.Pairs // decoded first-child-side record of one neighbor
+	outBuf table.Pairs // sorted result of the accumulation map
+	enc    []byte      // packed encoding handed to the sink
 
 	ops      int64
 	buffered int64
@@ -302,8 +324,9 @@ func newWorker(b *builder, h int) *worker {
 }
 
 // vertexRecord computes the full size-h record of node v by the
-// decomposition recurrence, returning a sorted cumulative Record.
-func (w *worker) vertexRecord(v int32) table.Record {
+// decomposition recurrence, returning the sorted pairs (backed by worker
+// scratch, valid until the next call).
+func (w *worker) vertexRecord(v int32) *table.Pairs {
 	b := w.b
 	clear(w.acc)
 	deg := b.g.Degree(v)
@@ -317,15 +340,17 @@ func (w *worker) vertexRecord(v int32) table.Record {
 		if rv.Len() == 0 {
 			continue
 		}
+		w.rvBuf.Reset()
+		rv.AppendPairs(&w.rvBuf)
 		if useBuffer {
 			// Neighbor buffering: Σ_u Σ c(T',v)·c(T'',u) factors as
 			// Σ c(T',v)·(Σ_u c(T'',u)) — aggregate the neighborhood once,
 			// then combine against a single record.
-			agg := w.aggregateNeighbors(v, hpp)
-			if agg.Len() == 0 {
+			w.aggregateNeighbors(v, hpp)
+			if w.ruBuf.Len() == 0 {
 				continue
 			}
-			w.combine(&agg, rv)
+			w.combine(&w.ruBuf, &w.rvBuf)
 			continue
 		}
 		for _, u := range b.g.Neighbors(v) {
@@ -333,11 +358,14 @@ func (w *worker) vertexRecord(v int32) table.Record {
 			if ru.Len() == 0 {
 				continue
 			}
-			w.combine(ru, rv)
+			w.ruBuf.Reset()
+			ru.AppendPairs(&w.ruBuf)
+			w.combine(&w.ruBuf, &w.rvBuf)
 		}
 	}
+	w.outBuf.Reset()
 	if len(w.acc) == 0 {
-		return table.Record{}
+		return &w.outBuf
 	}
 	// β_T correction: the recurrence generated each copy once per
 	// identical first child; the division is exact.
@@ -347,31 +375,33 @@ func (w *worker) vertexRecord(v int32) table.Record {
 			w.acc[key] = q
 		}
 	}
-	return table.FromMap(w.acc)
+	w.outBuf.FromMap(w.acc)
+	return &w.outBuf
 }
 
-// aggregateNeighbors sums the size-hpp records of v's neighbors into one
-// sorted record (counts only; the cumulative form doubles as sorted
-// storage).
-func (w *worker) aggregateNeighbors(v int32, hpp int) table.Record {
+// aggregateNeighbors sums the size-hpp records of v's neighbors into
+// w.ruBuf as one sorted pair list.
+func (w *worker) aggregateNeighbors(v int32, hpp int) {
 	b := w.b
 	agg := make(map[treelet.Colored]u128.Uint128)
 	for _, u := range b.g.Neighbors(v) {
 		ru := b.tab.Rec(hpp, u)
+		c := ru.Cursor(0)
 		for i := 0; i < ru.Len(); i++ {
-			key, c := ru.At(i)
-			agg[key] = agg[key].Add(c)
+			key, cnt := c.Next()
+			agg[key] = agg[key].Add(cnt)
 			w.ops++
 		}
 	}
-	return table.FromMap(agg)
+	w.ruBuf.Reset()
+	w.ruBuf.FromMap(agg)
 }
 
 // combine walks the shape runs of ru (first-child side T”) and rv
 // (remainder side T'), performs one succinct check-and-merge per run pair,
-// and accumulates the color-disjoint products into the map. Record keys
+// and accumulates the color-disjoint products into the map. Pair keys
 // sort by (treelet, colorset), so each shape's colorings are contiguous.
-func (w *worker) combine(ru, rv *table.Record) {
+func (w *worker) combine(ru, rv *table.Pairs) {
 	cat := w.b.cat
 	i := 0
 	for i < ru.Len() {
@@ -397,15 +427,15 @@ func (w *worker) combine(ru, rv *table.Record) {
 			if tp == treelet.Leaf || tpp <= cat.FirstChild(tp) {
 				merged := treelet.Merge(tp, tpp)
 				for a := i; a < iEnd; a++ {
-					cpp, cu := ru.At(a)
-					cs := cpp.Colors()
+					cs := ru.Keys[a].Colors()
+					cu := ru.Counts[a]
 					for bi := j; bi < jEnd; bi++ {
-						cp, cv := rv.At(bi)
-						if !cp.Colors().Disjoint(cs) {
+						cp := rv.Keys[bi].Colors()
+						if !cp.Disjoint(cs) {
 							continue
 						}
-						key := treelet.MakeColored(merged, cp.Colors()|cs)
-						w.acc[key] = w.acc[key].Add(cv.Mul(cu))
+						key := treelet.MakeColored(merged, cp|cs)
+						w.acc[key] = w.acc[key].Add(rv.Counts[bi].Mul(cu))
 					}
 				}
 			}

@@ -1,0 +1,40 @@
+package build_test
+
+import (
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/coloring"
+	"repro/internal/gen"
+	"repro/internal/treelet"
+)
+
+// TestPackedTableBeatsDenseLayout is the storage-engine acceptance test:
+// on the benchmark ER graph the packed table (arena + block index + offset
+// index, as accounted by Table.Bytes) must be at least 2.5x smaller than
+// the former 24-byte/pair word-aligned slice layout.
+func TestPackedTableBeatsDenseLayout(t *testing.T) {
+	g := gen.ErdosRenyi(800, 2400, 1033)
+	k := 5
+	col := coloring.Uniform(g.NumNodes(), k, 1007)
+	cat := treelet.NewCatalog(k)
+	tab, stats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs == 0 {
+		t.Fatal("empty table")
+	}
+	if tab.Bytes() != stats.TableBytes || tab.Pairs() != stats.Pairs {
+		t.Fatalf("stats disagree with table accounting: %d/%d bytes, %d/%d pairs",
+			stats.TableBytes, tab.Bytes(), stats.Pairs, tab.Pairs())
+	}
+	bytesPerPair := float64(stats.TableBytes) / float64(stats.Pairs)
+	const dense = 24.0 // 8-byte key + 16-byte cumulative count per pair
+	t.Logf("packed table: %d pairs, %d bytes, %.2f bytes/pair (%.1fx vs dense)",
+		stats.Pairs, stats.TableBytes, bytesPerPair, dense/bytesPerPair)
+	if dense/bytesPerPair < 2.5 {
+		t.Errorf("packed table only %.2fx smaller than the 24-byte/pair layout (%.2f bytes/pair), want ≥ 2.5x",
+			dense/bytesPerPair, bytesPerPair)
+	}
+}

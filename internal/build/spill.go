@@ -6,10 +6,11 @@ import (
 	"repro/internal/table"
 )
 
-// spillSink serializes completed records of one level pass to a temp file
-// (the greedy flushing strategy, Section 3.1). table.DiskStore does the
-// encoding; this wrapper adds the mutex the concurrent worker pool needs —
-// flush order is arbitrary, DiskStore.LoadAll reorders by offset.
+// spillSink streams packed records of one level pass to a temp file (the
+// greedy flushing strategy, Section 3.1). table.DiskStore does the I/O in
+// the shared wire format; this wrapper adds the mutex the concurrent
+// worker pool needs — flush order is arbitrary, Table.SetLevel compacts
+// the reloaded arena into node order.
 type spillSink struct {
 	mu sync.Mutex
 	ds *table.DiskStore
@@ -23,20 +24,17 @@ func newSpillSink(dir string, n int) (*spillSink, error) {
 	return &spillSink{ds: ds}, nil
 }
 
-func (s *spillSink) flush(v int32, r table.Record) error {
-	if r.Len() == 0 {
-		return nil
-	}
-	// Encode outside the lock: the per-record packing dominates the
-	// append, and serializing it would collapse the worker pool to one
-	// effective writer on encode-heavy levels.
-	buf := table.EncodeRecord(r)
+// flush appends one packed record; callers encode outside the lock (the
+// per-record packing dominates the append, and serializing it would
+// collapse the worker pool to one effective writer on encode-heavy
+// levels).
+func (s *spillSink) flush(v int32, rec []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.ds.FlushEncoded(v, buf)
+	return s.ds.Flush(v, rec)
 }
 
-func (s *spillSink) loadAll() ([]table.Record, error) {
+func (s *spillSink) loadAll() ([]byte, []int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.ds.LoadAll()

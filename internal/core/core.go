@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphlet"
 	"repro/internal/sample"
+	"repro/internal/table"
 	"repro/internal/treelet"
 )
 
@@ -109,6 +110,14 @@ type Config struct {
 	// BufferThreshold overrides the neighbor-buffering degree threshold
 	// (0 keeps the paper's default of 10^4).
 	BufferThreshold int
+	// TablePath, when set, skips the build-up phase entirely: the count
+	// table (and the coloring that produced it) is opened from a file
+	// written by BuildTable or `motivo build -o` — the build-once /
+	// query-many serving mode. It requires Colorings == 1 (a saved table
+	// captures exactly one coloring) and K equal to the table's k; a run
+	// with TablePath at seed s produces bit-identical estimates to an
+	// in-memory run at seed s whose table was saved by BuildTable.
+	TablePath string
 }
 
 // Result aggregates the estimates of a run.
@@ -130,21 +139,72 @@ type Result struct {
 	Covered int
 }
 
+// validate checks the parts of the config shared by Count and BuildTable.
+func (cfg Config) validate() error {
+	if cfg.K < 2 || cfg.K > treelet.MaxK {
+		return fmt.Errorf("core: K=%d out of range [2,%d]", cfg.K, treelet.MaxK)
+	}
+	if cfg.BiasedLambda > 0 {
+		if err := coloring.ValidateLambda(cfg.K, cfg.BiasedLambda); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// colorFor generates the coloring of run `run` — the one deterministic
+// seed schedule shared by Count and BuildTable, so a table saved by
+// BuildTable reproduces exactly the coloring Count would have built
+// in-memory at the same seed.
+func colorFor(g *graph.Graph, cfg Config, run int) *coloring.Coloring {
+	seed := cfg.Seed + int64(run)*7919
+	if cfg.BiasedLambda > 0 {
+		return coloring.Biased(g.NumNodes(), cfg.K, cfg.BiasedLambda, seed)
+	}
+	return coloring.Uniform(g.NumNodes(), cfg.K, seed)
+}
+
+// buildFor runs the build-up phase with the config's build options.
+func buildFor(g *graph.Graph, cfg Config, col *coloring.Coloring, cat *treelet.Catalog) (*table.Table, *build.Stats, error) {
+	opts := build.DefaultOptions()
+	opts.Workers = cfg.Workers
+	opts.Spill = cfg.Spill
+	if cfg.BufferThreshold > 0 {
+		opts.BufferThreshold = cfg.BufferThreshold
+	}
+	return build.Run(g, col, cfg.K, cat, opts)
+}
+
+// BuildTable runs the coloring and build-up phase for run 0 of cfg and
+// persists the table (arena + offset index + coloring) to path, so later
+// Count calls with Config.TablePath skip the build entirely.
+func BuildTable(g *graph.Graph, cfg Config, path string) (*build.Stats, int64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	cat := treelet.NewCatalog(cfg.K)
+	col := colorFor(g, cfg, 0)
+	tab, stats, err := buildFor(g, cfg, col, cat)
+	if err != nil {
+		return nil, 0, err
+	}
+	fileBytes, err := table.SaveFile(path, tab, col)
+	if err != nil {
+		return nil, 0, err
+	}
+	return stats, fileBytes, nil
+}
+
 // Count runs the motivo pipeline on g.
 func Count(g *graph.Graph, cfg Config) (*Result, error) {
-	if cfg.K < 2 || cfg.K > treelet.MaxK {
-		return nil, fmt.Errorf("core: K=%d out of range [2,%d]", cfg.K, treelet.MaxK)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.Colorings < 1 {
 		return nil, fmt.Errorf("core: Colorings must be ≥ 1, got %d", cfg.Colorings)
 	}
 	if cfg.SamplesPerColoring < 1 {
 		return nil, fmt.Errorf("core: SamplesPerColoring must be ≥ 1, got %d", cfg.SamplesPerColoring)
-	}
-	if cfg.BiasedLambda > 0 {
-		if err := coloring.ValidateLambda(cfg.K, cfg.BiasedLambda); err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
 	}
 	if err := ValidateSampleWorkers(cfg.SampleWorkers); err != nil {
 		return nil, err
@@ -160,72 +220,101 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 	res := &Result{Counts: make(estimate.Counts)}
 	sig := estimate.NewSigma(cfg.K)
 
+	if cfg.TablePath != "" {
+		if cfg.Colorings != 1 {
+			return nil, fmt.Errorf("core: TablePath requires Colorings == 1 (a saved table captures one coloring), got %d", cfg.Colorings)
+		}
+		if cfg.BiasedLambda > 0 {
+			return nil, fmt.Errorf("core: BiasedLambda has no effect with TablePath (the saved coloring is used); unset one")
+		}
+		openStart := time.Now()
+		tab, col, err := table.LoadFile(cfg.TablePath)
+		if err != nil {
+			return nil, err
+		}
+		if col == nil {
+			return nil, fmt.Errorf("core: table %s carries no coloring section; rebuild it with BuildTable", cfg.TablePath)
+		}
+		if tab.K != cfg.K {
+			return nil, fmt.Errorf("core: table %s was built for k=%d, run wants k=%d", cfg.TablePath, tab.K, cfg.K)
+		}
+		if tab.N != g.NumNodes() {
+			return nil, fmt.Errorf("core: table %s covers %d nodes, graph has %d", cfg.TablePath, tab.N, g.NumNodes())
+		}
+		res.BuildTime = time.Since(openStart) // table open, not a build
+		res.TableBytes = tab.Bytes()
+		if err := sampleRun(g, cfg, cat, sig, cover, tab, col, cfg.Seed, res); err != nil {
+			return nil, err
+		}
+		res.Frequencies = estimate.Frequencies(res.Counts)
+		return res, nil
+	}
+
 	for run := 0; run < cfg.Colorings; run++ {
 		seed := cfg.Seed + int64(run)*7919
-		var col *coloring.Coloring
-		if cfg.BiasedLambda > 0 {
-			col = coloring.Biased(g.NumNodes(), cfg.K, cfg.BiasedLambda, seed)
-		} else {
-			col = coloring.Uniform(g.NumNodes(), cfg.K, seed)
-		}
-		opts := build.DefaultOptions()
-		opts.Workers = cfg.Workers
-		opts.Spill = cfg.Spill
-		if cfg.BufferThreshold > 0 {
-			opts.BufferThreshold = cfg.BufferThreshold
-		}
-		tab, stats, err := build.Run(g, col, cfg.K, cat, opts)
+		col := colorFor(g, cfg, run)
+		tab, stats, err := buildFor(g, cfg, col, cat)
 		if err != nil {
 			return nil, err
 		}
 		res.BuildTime += stats.Duration
 		res.BuildStats = append(res.BuildStats, stats)
 		res.TableBytes = stats.TableBytes
-
-		urn, err := sample.NewUrn(g, col, tab, cat)
-		if err != nil {
+		if err := sampleRun(g, cfg, cat, sig, cover, tab, col, seed, res); err != nil {
 			return nil, err
-		}
-		if cfg.BufferThreshold > 0 {
-			urn.BufferThreshold = cfg.BufferThreshold
-		}
-		if urn.Empty() {
-			// An unlucky coloring of a tiny graph: contributes a zero
-			// estimate for every graphlet, which is what the estimator
-			// semantics prescribe.
-			continue
-		}
-		rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
-		sampleStart := time.Now()
-		var est estimate.Counts
-		switch cfg.Strategy {
-		case Naive:
-			tallies := naiveTallies(urn, cfg.SamplesPerColoring, cfg.SampleWorkers, rng)
-			est = estimate.Naive(tallies, int64(cfg.SamplesPerColoring), urn.Total().Float64(), sig, col.PColorful)
-			res.Samples += cfg.SamplesPerColoring
-		case AGS:
-			out, err := ags.Run(urn, ags.Options{
-				CoverThreshold: cover,
-				Budget:         cfg.SamplesPerColoring,
-				Rng:            rng,
-				Workers:        cfg.SampleWorkers,
-			})
-			if err != nil {
-				return nil, err
-			}
-			est = out.Estimates
-			res.Samples += out.Samples
-			res.Covered = out.Covered
-		default:
-			return nil, fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
-		}
-		res.SampleTime += time.Since(sampleStart)
-		for code, v := range est {
-			res.Counts[code] += v / float64(cfg.Colorings)
 		}
 	}
 	res.Frequencies = estimate.Frequencies(res.Counts)
 	return res, nil
+}
+
+// sampleRun executes the sampling phase of one coloring over a built (or
+// loaded) table and accumulates the estimates into res. It is the single
+// code path behind both the in-memory and the persistent-table modes, so a
+// loaded table yields bit-identical estimates at the same seed.
+func sampleRun(g *graph.Graph, cfg Config, cat *treelet.Catalog, sig *estimate.Sigma, cover int, tab *table.Table, col *coloring.Coloring, seed int64, res *Result) error {
+	urn, err := sample.NewUrn(g, col, tab, cat)
+	if err != nil {
+		return err
+	}
+	if cfg.BufferThreshold > 0 {
+		urn.BufferThreshold = cfg.BufferThreshold
+	}
+	if urn.Empty() {
+		// An unlucky coloring of a tiny graph: contributes a zero
+		// estimate for every graphlet, which is what the estimator
+		// semantics prescribe.
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	sampleStart := time.Now()
+	var est estimate.Counts
+	switch cfg.Strategy {
+	case Naive:
+		tallies := naiveTallies(urn, cfg.SamplesPerColoring, cfg.SampleWorkers, rng)
+		est = estimate.Naive(tallies, int64(cfg.SamplesPerColoring), urn.Total().Float64(), sig, col.PColorful)
+		res.Samples += cfg.SamplesPerColoring
+	case AGS:
+		out, err := ags.Run(urn, ags.Options{
+			CoverThreshold: cover,
+			Budget:         cfg.SamplesPerColoring,
+			Rng:            rng,
+			Workers:        cfg.SampleWorkers,
+		})
+		if err != nil {
+			return err
+		}
+		est = out.Estimates
+		res.Samples += out.Samples
+		res.Covered = out.Covered
+	default:
+		return fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
+	}
+	res.SampleTime += time.Since(sampleStart)
+	for code, v := range est {
+		res.Counts[code] += v / float64(cfg.Colorings)
+	}
+	return nil
 }
 
 // naiveTallies draws `budget` samples, optionally in parallel over urn

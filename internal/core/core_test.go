@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/estimate"
@@ -254,5 +255,79 @@ func TestSpillPath(t *testing.T) {
 	}
 	if len(res.Counts) == 0 {
 		t.Fatal("spill run produced nothing")
+	}
+}
+
+// TestPersistentTableRoundTrip is the build-once / query-many acceptance
+// test: BuildTable → Count(TablePath) must produce bit-identical estimates
+// to a fully in-memory Count at the same seed, for both strategies.
+func TestPersistentTableRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(80, 240, 61)
+	dir := t.TempDir()
+	for _, strat := range []Strategy{Naive, AGS} {
+		cfg := Config{
+			K: 4, Colorings: 1, SamplesPerColoring: 8000,
+			Strategy: strat, CoverThreshold: 300, Seed: 67,
+		}
+		mem, err := Count(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := dir + "/" + strat.String() + ".tbl"
+		stats, fileBytes, err := BuildTable(g, cfg, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Pairs == 0 || fileBytes == 0 {
+			t.Fatalf("%v: empty build (%d pairs, %d file bytes)", strat, stats.Pairs, fileBytes)
+		}
+		loaded := cfg
+		loaded.TablePath = path
+		srv, err := Count(g, loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mem.Counts, srv.Counts) {
+			t.Fatalf("%v: estimates differ between in-memory build and loaded table", strat)
+		}
+		if srv.Samples != mem.Samples || srv.Covered != mem.Covered {
+			t.Fatalf("%v: sampling trajectory differs (%d/%d samples, %d/%d covered)",
+				strat, srv.Samples, mem.Samples, srv.Covered, mem.Covered)
+		}
+		// Query-many: a second query with a different budget works off the
+		// same file without rebuilding.
+		loaded.SamplesPerColoring = 2000
+		if _, err := Count(g, loaded); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTablePathValidation exercises the persistent-path error cases.
+func TestTablePathValidation(t *testing.T) {
+	g := gen.ErdosRenyi(50, 150, 71)
+	dir := t.TempDir()
+	path := dir + "/k4.tbl"
+	if _, _, err := BuildTable(g, Config{K: 4, Seed: 3}, path); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing file", Config{K: 4, Colorings: 1, SamplesPerColoring: 10, TablePath: dir + "/nope.tbl"}},
+		{"colorings > 1", Config{K: 4, Colorings: 2, SamplesPerColoring: 10, TablePath: path}},
+		{"lambda set", Config{K: 4, Colorings: 1, SamplesPerColoring: 10, BiasedLambda: 0.1, TablePath: path}},
+		{"k mismatch", Config{K: 5, Colorings: 1, SamplesPerColoring: 10, TablePath: path}},
+	}
+	for _, tc := range cases {
+		if _, err := Count(g, tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Node-count mismatch: same table, different graph.
+	other := gen.ErdosRenyi(40, 120, 73)
+	if _, err := Count(other, Config{K: 4, Colorings: 1, SamplesPerColoring: 10, TablePath: path}); err == nil {
+		t.Error("node-count mismatch: expected error")
 	}
 }

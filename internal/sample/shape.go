@@ -83,7 +83,7 @@ func (s *ShapeUrn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
 		if lo == hi {
 			continue
 		}
-		w := rec.ShapeTotal(t)
+		w := rec.RangeTotal(lo, hi)
 		total += w.Float64()
 		cum = append(cum, total)
 		ranges = append(ranges, [2]int{lo, hi})

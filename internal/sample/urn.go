@@ -175,8 +175,9 @@ func (u *Urn) chooseChild(v int32, tc treelet.Colored, rng *rand.Rand) childChoi
 			continue
 		}
 		lo, hi := ru.ShapeRange(tpp)
+		cur := ru.Cursor(lo)
 		for i := lo; i < hi; i++ {
-			cpp, cu := ru.At(i)
+			cpp, cu := cur.Next()
 			cs := cpp.Colors()
 			if cs&C != cs { // C'' must be a subset of C
 				continue

@@ -2,29 +2,70 @@ package table
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
-	"sort"
-
-	"repro/internal/treelet"
-	"repro/internal/u128"
+	"sync"
 )
 
-// This file implements the greedy flushing strategy of Section 3.1: while a
-// size-h pass runs, each completed record is immediately serialized to a
-// spill file and its memory released; when the pass finishes, the spill is
-// re-read to serve as input for the next pass. (The paper writes unsorted
-// records and sorts them in a second I/O pass; our records are sorted at
-// flush time — the FromMap sort — so the second pass is a pure sequential
-// reload, playing the role of the paper's memory-mapped reads.)
+// This file implements the two flush sinks of the greedy flushing strategy
+// (Section 3.1). While a size-h pass runs, each completed record is encoded
+// once into the packed wire format (packed.go) and handed to a sink:
+//
+//   - LevelWriter appends it to an in-memory arena (the default);
+//   - DiskStore appends it to a spill file and releases the memory, the
+//     paper's out-of-core mode.
+//
+// Both record the per-node start offset and hand the finished level to
+// Table.SetLevel, which compacts it into node order — so the resulting
+// table is byte-identical whichever sink was used and however the
+// concurrent producers were scheduled. The bytes written to disk are
+// exactly the bytes that live in RAM: one wire format for spilling,
+// in-memory storage, and persistence (serialize.go).
 
-// DiskStore spills per-node records of one size level to a file.
+// LevelWriter collects the packed records of one size level in memory.
+// Add may be called concurrently; callers encode outside the lock.
+type LevelWriter struct {
+	mu     sync.Mutex
+	arena  []byte
+	starts []int64
+}
+
+// NewLevelWriter prepares an in-memory sink for n nodes.
+func NewLevelWriter(n int) *LevelWriter {
+	lw := &LevelWriter{starts: make([]int64, n)}
+	for i := range lw.starts {
+		lw.starts[i] = -1
+	}
+	return lw
+}
+
+// Add appends the packed record of node v (copying rec, so callers may
+// reuse their encode buffer). Empty records are skipped.
+func (w *LevelWriter) Add(v int32, rec []byte) {
+	if len(rec) == 0 {
+		return
+	}
+	w.mu.Lock()
+	w.starts[v] = int64(len(w.arena))
+	w.arena = append(w.arena, rec...)
+	w.mu.Unlock()
+}
+
+// Install hands the collected level to the table (compacted into node
+// order). The writer must not be used afterwards.
+func (w *LevelWriter) Install(t *Table, h int) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return t.SetLevel(h, w.arena, w.starts)
+}
+
+// DiskStore spills the packed records of one size level to a file.
 type DiskStore struct {
 	f       *os.File
 	w       *bufio.Writer
 	offsets []int64 // offsets[v] = file offset of v's record, -1 if empty
+	lens    []int32 // lens[v] = encoded record size in bytes
 	pos     int64
 }
 
@@ -39,49 +80,30 @@ func NewDiskStore(dir string, n int) (*DiskStore, error) {
 	for i := range offs {
 		offs[i] = -1
 	}
-	return &DiskStore{f: f, w: bufio.NewWriterSize(f, 1<<20), offsets: offs}, nil
+	return &DiskStore{
+		f: f, w: bufio.NewWriterSize(f, 1<<20),
+		offsets: offs, lens: make([]int32, n),
+	}, nil
 }
 
-// EncodeRecord serializes a record to the spill wire format: a 4-byte
-// little-endian pair count followed by 24 bytes per (key, cumulative)
-// pair. It is exposed separately from Flush so concurrent producers can
-// encode outside whatever lock guards the store.
-func EncodeRecord(r Record) []byte {
-	buf := make([]byte, 4+24*r.Len())
-	binary.LittleEndian.PutUint32(buf, uint32(r.Len()))
-	for i, k := range r.Keys {
-		binary.LittleEndian.PutUint64(buf[4+24*i:], uint64(k))
-		binary.LittleEndian.PutUint64(buf[4+24*i+8:], r.Cum[i].Lo)
-		binary.LittleEndian.PutUint64(buf[4+24*i+16:], r.Cum[i].Hi)
-	}
-	return buf
-}
-
-// Flush appends the record of node v to the spill file so the caller can
-// release the in-memory copy.
-func (d *DiskStore) Flush(v int32, r Record) error {
-	if r.Len() == 0 {
-		return nil
-	}
-	return d.FlushEncoded(v, EncodeRecord(r))
-}
-
-// FlushEncoded appends a record already serialized with EncodeRecord.
-// Empty records (payload of just the zero pair count) are skipped.
-func (d *DiskStore) FlushEncoded(v int32, buf []byte) error {
-	if len(buf) <= 4 {
+// Flush appends the packed record of node v (as produced by AppendRecord)
+// to the spill file so the caller can release the in-memory copy. Empty
+// records are skipped.
+func (d *DiskStore) Flush(v int32, rec []byte) error {
+	if len(rec) == 0 {
 		return nil
 	}
 	d.offsets[v] = d.pos
-	if _, err := d.w.Write(buf); err != nil {
+	d.lens[v] = int32(len(rec))
+	if _, err := d.w.Write(rec); err != nil {
 		return err
 	}
-	d.pos += int64(len(buf))
+	d.pos += int64(len(rec))
 	return nil
 }
 
 // Load reads back the record of node v (an empty record if v was never
-// flushed).
+// flushed). The returned view owns its own copy of the bytes.
 func (d *DiskStore) Load(v int32) (Record, error) {
 	off := d.offsets[v]
 	if off < 0 {
@@ -90,75 +112,30 @@ func (d *DiskStore) Load(v int32) (Record, error) {
 	if err := d.w.Flush(); err != nil {
 		return Record{}, err
 	}
-	var hdr [4]byte
-	if _, err := d.f.ReadAt(hdr[:], off); err != nil {
+	buf := make([]byte, d.lens[v])
+	if _, err := d.f.ReadAt(buf, off); err != nil {
 		return Record{}, err
 	}
-	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	buf := make([]byte, 24*n)
-	if _, err := d.f.ReadAt(buf, off+4); err != nil {
-		return Record{}, err
-	}
-	r := Record{Keys: make([]treelet.Colored, n), Cum: make([]u128.Uint128, n)}
-	for i := 0; i < n; i++ {
-		r.Keys[i] = treelet.Colored(binary.LittleEndian.Uint64(buf[24*i:]))
-		r.Cum[i].Lo = binary.LittleEndian.Uint64(buf[24*i+8:])
-		r.Cum[i].Hi = binary.LittleEndian.Uint64(buf[24*i+16:])
-	}
-	return r, nil
+	return ViewRecord(buf) // the one shared decoder, same as Table.Rec
 }
 
-// LoadAll reloads every record into a size-level slice (the sequential
-// second pass).
-func (d *DiskStore) LoadAll() ([]Record, error) {
+// LoadAll reloads the whole level with one sequential read: the file
+// contents are the arena (records sit at their flush offsets), so the
+// result plugs straight into Table.SetLevel.
+func (d *DiskStore) LoadAll() (arena []byte, starts []int64, err error) {
 	if err := d.w.Flush(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	br := bufio.NewReaderSize(d.f, 1<<20)
-	recs := make([]Record, len(d.offsets))
-	// Records were written in flush order; reconstruct by walking offsets
-	// in file order.
-	type ent struct {
-		v   int32
-		off int64
+	arena = make([]byte, d.pos)
+	if _, err := io.ReadFull(bufio.NewReaderSize(d.f, 1<<20), arena); err != nil {
+		return nil, nil, fmt.Errorf("table: spill reload: %w", err)
 	}
-	var order []ent
-	for v, off := range d.offsets {
-		if off >= 0 {
-			order = append(order, ent{int32(v), off})
-		}
-	}
-	// Offsets are increasing in flush order but flush order is arbitrary
-	// (concurrent producers flush in scheduling order); sort by offset
-	// for one sequential scan.
-	sort.Slice(order, func(i, j int) bool { return order[i].off < order[j].off })
-	pos := int64(0)
-	for _, e := range order {
-		if e.off != pos {
-			return nil, fmt.Errorf("table: spill corruption: offset %d != pos %d", e.off, pos)
-		}
-		var hdr [4]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return nil, err
-		}
-		n := int(binary.LittleEndian.Uint32(hdr[:]))
-		buf := make([]byte, 24*n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
-		}
-		r := Record{Keys: make([]treelet.Colored, n), Cum: make([]u128.Uint128, n)}
-		for i := 0; i < n; i++ {
-			r.Keys[i] = treelet.Colored(binary.LittleEndian.Uint64(buf[24*i:]))
-			r.Cum[i].Lo = binary.LittleEndian.Uint64(buf[24*i+8:])
-			r.Cum[i].Hi = binary.LittleEndian.Uint64(buf[24*i+16:])
-		}
-		recs[e.v] = r
-		pos += int64(4 + 24*n)
-	}
-	return recs, nil
+	starts = make([]int64, len(d.offsets))
+	copy(starts, d.offsets)
+	return arena, starts, nil
 }
 
 // Size returns the current spill file size in bytes.

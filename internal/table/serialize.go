@@ -5,123 +5,216 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"os"
 
+	"repro/internal/coloring"
 	"repro/internal/treelet"
-	"repro/internal/u128"
 )
 
-// Serialization of a complete count table. Motivo persists its treelet
-// count tables (and the σ_ij caches) on disk so the expensive build-up
-// phase can be reused across sampling sessions (Section 3.3); this is that
-// format: a header, then for every size level and node the sorted record
-// as (key, cumulative count) pairs, little-endian.
+// Persistent table format — the build-once / query-many half of the
+// storage engine. Motivo persists its count tables on disk so the
+// expensive build-up phase is paid once and amortized over many sampling
+// sessions (Section 3.3); this file is that format, version 2:
+//
+//	u32  magic "MvT2" (little-endian 0x4d765432)
+//	u32  version (2)
+//	u32  k
+//	u32  flags (bit 0: zero-rooted; bit 1: coloring section present)
+//	u64  n (number of nodes)
+//	[coloring section, if flagged]
+//	  f64  PColorful (IEEE-754 bits)
+//	  n×u8 node colors
+//	[for each size h = 1..k]
+//	  u64   arena length in bytes
+//	  n×i64 per-node start offsets (-1 = empty record)
+//	  arena bytes (packed records, the wire format of packed.go)
+//
+// Everything is little-endian. The arenas are written exactly as they live
+// in RAM, so opening a table is one sequential read per section straight
+// into the arena — no per-record decoding. The coloring travels with the
+// table because the counts are only meaningful under the coloring that
+// produced them (and the estimator needs its PColorful).
 
-const tableMagic = uint32(0x4d765431) // "MvT1"
+const (
+	fileMagic   = uint32(0x4d765432) // "MvT2"
+	fileVersion = uint32(2)
 
-// WriteTo serializes the table. It returns the number of bytes written.
-func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	flagZeroRooted  = 1 << 0
+	flagHasColoring = 1 << 1
+)
+
+// Save serializes the table (and, when non-nil, its coloring) to w. It
+// returns the number of bytes written.
+func Save(w io.Writer, t *Table, col *coloring.Coloring) (int64, error) {
+	if col != nil && len(col.Colors) != t.N {
+		return 0, fmt.Errorf("table: coloring covers %d nodes, table has %d", len(col.Colors), t.N)
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var n int64
-	put := func(v uint64) error {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], v)
-		m, err := bw.Write(buf[:])
-		n += int64(m)
-		return err
+	write := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		n += int64(binary.Size(data))
+		return nil
 	}
-	zr := uint64(0)
+	flags := uint32(0)
 	if t.ZeroRooted {
-		zr = 1
+		flags |= flagZeroRooted
 	}
-	for _, h := range []uint64{uint64(tableMagic), uint64(t.K), uint64(t.N), zr} {
-		if err := put(h); err != nil {
+	if col != nil {
+		flags |= flagHasColoring
+	}
+	for _, v := range []uint32{fileMagic, fileVersion, uint32(t.K), flags} {
+		if err := write(v); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(t.N)); err != nil {
+		return n, err
+	}
+	if col != nil {
+		if err := write(math.Float64bits(col.PColorful)); err != nil {
+			return n, err
+		}
+		if err := write(col.Colors); err != nil {
 			return n, err
 		}
 	}
 	for h := 1; h <= t.K; h++ {
-		for v := 0; v < t.N; v++ {
-			rec := &t.Recs[h][v]
-			if err := put(uint64(rec.Len())); err != nil {
-				return n, err
-			}
-			for i := range rec.Keys {
-				if err := put(uint64(rec.Keys[i])); err != nil {
-					return n, err
-				}
-				if err := put(rec.Cum[i].Lo); err != nil {
-					return n, err
-				}
-				if err := put(rec.Cum[i].Hi); err != nil {
-					return n, err
-				}
-			}
+		lv := &t.levels[h]
+		if err := write(uint64(len(lv.arena))); err != nil {
+			return n, err
+		}
+		if err := write(lv.starts); err != nil {
+			return n, err
+		}
+		if err := write(lv.arena); err != nil {
+			return n, err
 		}
 	}
 	return n, bw.Flush()
 }
 
-// ReadTable deserializes a table written by WriteTo.
-func ReadTable(r io.Reader) (*Table, error) {
+// WriteTo serializes the table without a coloring section. It returns the
+// number of bytes written.
+func (t *Table) WriteTo(w io.Writer) (int64, error) { return Save(w, t, nil) }
+
+// maxLoadNodes bounds the node count a loaded header may declare: node ids
+// are int32 throughout the pipeline, so anything larger is corruption and
+// must fail fast instead of attempting a huge allocation (the bound also
+// keeps int(n) safe on 32-bit platforms).
+const maxLoadNodes = 1<<31 - 1
+
+// Load deserializes a table written by Save. The returned coloring is nil
+// when the file carries none. Every record is validated entry-by-entry, so
+// corruption surfaces here instead of as a panic mid-query.
+func Load(r io.Reader) (*Table, *coloring.Coloring, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	get := func() (uint64, error) {
-		var buf [8]byte
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return 0, err
+	read := func(data any) error { return binary.Read(br, binary.LittleEndian, data) }
+	var magic, version, k32, flags uint32
+	for _, p := range []*uint32{&magic, &version, &k32, &flags} {
+		if err := read(p); err != nil {
+			return nil, nil, fmt.Errorf("table: truncated header: %w", err)
 		}
-		return binary.LittleEndian.Uint64(buf[:]), nil
 	}
-	magic, err := get()
-	if err != nil {
-		return nil, err
+	if magic != fileMagic {
+		return nil, nil, fmt.Errorf("table: bad magic %#x (want %#x)", magic, fileMagic)
 	}
-	if uint32(magic) != tableMagic {
-		return nil, fmt.Errorf("table: bad magic %#x", magic)
+	if version != fileVersion {
+		return nil, nil, fmt.Errorf("table: unsupported format version %d (want %d)", version, fileVersion)
 	}
-	k64, err := get()
-	if err != nil {
-		return nil, err
+	var n64 uint64
+	if err := read(&n64); err != nil {
+		return nil, nil, err
 	}
-	n64, err := get()
-	if err != nil {
-		return nil, err
+	k := int(k32)
+	if k < 1 || k > treelet.MaxK || n64 > maxLoadNodes {
+		return nil, nil, fmt.Errorf("table: implausible header k=%d n=%d", k, n64)
 	}
-	zr, err := get()
-	if err != nil {
-		return nil, err
+	n := int(n64)
+	t := New(n, k, flags&flagZeroRooted != 0)
+	var col *coloring.Coloring
+	if flags&flagHasColoring != 0 {
+		var pbits uint64
+		if err := read(&pbits); err != nil {
+			return nil, nil, fmt.Errorf("table: coloring section: %w", err)
+		}
+		col = &coloring.Coloring{
+			K:         k,
+			Colors:    make([]uint8, n),
+			PColorful: math.Float64frombits(pbits),
+		}
+		if err := read(col.Colors); err != nil {
+			return nil, nil, fmt.Errorf("table: coloring section: %w", err)
+		}
+		for v, c := range col.Colors {
+			if int(c) >= k {
+				return nil, nil, fmt.Errorf("table: node %d has color %d ≥ k=%d", v, c, k)
+			}
+		}
 	}
-	k, n := int(k64), int(n64)
-	if k < 1 || k > treelet.MaxK || n < 0 {
-		return nil, fmt.Errorf("table: implausible header k=%d n=%d", k, n)
-	}
-	t := New(n, k, zr == 1)
 	for h := 1; h <= k; h++ {
-		for v := 0; v < n; v++ {
-			ln, err := get()
-			if err != nil {
-				return nil, err
-			}
-			if ln == 0 {
-				continue
-			}
-			rec := Record{
-				Keys: make([]treelet.Colored, ln),
-				Cum:  make([]u128.Uint128, ln),
-			}
-			for i := range rec.Keys {
-				kk, err := get()
-				if err != nil {
-					return nil, err
-				}
-				rec.Keys[i] = treelet.Colored(kk)
-				if rec.Cum[i].Lo, err = get(); err != nil {
-					return nil, err
-				}
-				if rec.Cum[i].Hi, err = get(); err != nil {
-					return nil, err
-				}
-			}
-			t.Recs[h][v] = rec
+		var alen uint64
+		if err := read(&alen); err != nil {
+			return nil, nil, fmt.Errorf("table: level %d header: %w", h, err)
 		}
+		// Fail fast on headers declaring arenas beyond anything this
+		// implementation can build (records are capped well below this by
+		// RAM long before), instead of attempting the allocation.
+		const maxArena = 1 << 40 // 1 TiB per level
+		if alen > maxArena {
+			return nil, nil, fmt.Errorf("table: implausible level %d arena size %d", h, alen)
+		}
+		starts := make([]int64, n)
+		if err := read(starts); err != nil {
+			return nil, nil, fmt.Errorf("table: level %d offset index: %w", h, err)
+		}
+		arena := make([]byte, alen)
+		if _, err := io.ReadFull(br, arena); err != nil {
+			return nil, nil, fmt.Errorf("table: level %d arena: %w", h, err)
+		}
+		for v, off := range starts {
+			if off < -1 || off > int64(alen) {
+				return nil, nil, fmt.Errorf("table: level %d record %d offset %d out of range", h, v, off)
+			}
+		}
+		t.levels[h] = level{arena: arena, starts: starts}
 	}
-	return t, nil
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return t, col, nil
+}
+
+// ReadTable deserializes just the table, discarding any coloring section.
+func ReadTable(r io.Reader) (*Table, error) {
+	t, _, err := Load(r)
+	return t, err
+}
+
+// SaveFile writes the table (and optional coloring) to path, replacing any
+// existing file. It returns the file size in bytes.
+func SaveFile(path string, t *Table, col *coloring.Coloring) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := Save(f, t, col)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
+}
+
+// LoadFile opens a table written by SaveFile with one sequential read per
+// section.
+func LoadFile(path string) (*Table, *coloring.Coloring, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Load(f)
 }

@@ -4,24 +4,58 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/coloring"
 	"repro/internal/treelet"
 	"repro/internal/u128"
 )
 
-func TestTableSerializationRoundTrip(t *testing.T) {
+// testTable builds a small fixed table across three levels.
+func testTable(t *testing.T) *Table {
+	t.Helper()
 	tab := New(4, 3, true)
-	tab.Recs[1][0] = FromMap(map[treelet.Colored]u128.Uint128{
+	var p Pairs
+	p.FromMap(map[treelet.Colored]u128.Uint128{
 		treelet.MakeColored(treelet.Leaf, 0b001): u128.One,
 	})
+	tab.SetRec(1, 0, &p)
 	edge := treelet.FromParents([]int{0, 0})
-	tab.Recs[2][1] = FromMap(map[treelet.Colored]u128.Uint128{
+	p.FromMap(map[treelet.Colored]u128.Uint128{
 		treelet.MakeColored(edge, 0b011): u128.From64(7),
 		treelet.MakeColored(edge, 0b101): {Hi: 3, Lo: 9},
 	})
-	tab.Recs[3][2] = FromMap(map[treelet.Colored]u128.Uint128{
+	tab.SetRec(2, 1, &p)
+	p.FromMap(map[treelet.Colored]u128.Uint128{
 		treelet.MakeColored(treelet.FromParents([]int{0, 0, 1}), 0b111): u128.From64(2),
 	})
+	tab.SetRec(3, 2, &p)
+	return tab
+}
 
+// equalTables compares two tables entry by entry.
+func equalTables(t *testing.T, a, b *Table) {
+	t.Helper()
+	if a.K != b.K || a.N != b.N || a.ZeroRooted != b.ZeroRooted {
+		t.Fatal("header mismatch")
+	}
+	for h := 1; h <= a.K; h++ {
+		for v := int32(0); int(v) < a.N; v++ {
+			ra, rb := a.Rec(h, v), b.Rec(h, v)
+			if ra.Len() != rb.Len() {
+				t.Fatalf("h=%d v=%d length mismatch", h, v)
+			}
+			for i := 0; i < ra.Len(); i++ {
+				ka, ca := ra.At(i)
+				kb, cb := rb.At(i)
+				if ka != kb || ca != cb {
+					t.Fatalf("h=%d v=%d entry %d mismatch", h, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTableSerializationRoundTrip(t *testing.T) {
+	tab := testTable(t)
 	var buf bytes.Buffer
 	n, err := tab.WriteTo(&buf)
 	if err != nil {
@@ -34,26 +68,53 @@ func TestTableSerializationRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.K != tab.K || got.N != tab.N || got.ZeroRooted != tab.ZeroRooted {
-		t.Fatal("header mismatch")
-	}
-	for h := 1; h <= tab.K; h++ {
-		for v := 0; v < tab.N; v++ {
-			a, b := &tab.Recs[h][v], &got.Recs[h][v]
-			if a.Len() != b.Len() {
-				t.Fatalf("h=%d v=%d length mismatch", h, v)
-			}
-			for i := 0; i < a.Len(); i++ {
-				ka, ca := a.At(i)
-				kb, cb := b.At(i)
-				if ka != kb || ca != cb {
-					t.Fatalf("h=%d v=%d entry %d mismatch", h, v, i)
-				}
-			}
-		}
-	}
+	equalTables(t, tab, got)
 	if got.TotalK() != tab.TotalK() {
 		t.Error("TotalK changed across serialization")
+	}
+}
+
+func TestSaveLoadWithColoring(t *testing.T) {
+	tab := testTable(t)
+	col := coloring.Uniform(tab.N, tab.K, 42)
+	var buf bytes.Buffer
+	if _, err := Save(&buf, tab, col); err != nil {
+		t.Fatal(err)
+	}
+	got, gotCol, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tab, got)
+	if gotCol == nil {
+		t.Fatal("coloring section lost")
+	}
+	if gotCol.K != col.K || gotCol.PColorful != col.PColorful {
+		t.Errorf("coloring header mismatch: %+v vs %+v", gotCol, col)
+	}
+	if !bytes.Equal(gotCol.Colors, col.Colors) {
+		t.Error("node colors changed across serialization")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	tab := testTable(t)
+	col := coloring.Uniform(tab.N, tab.K, 7)
+	path := t.TempDir() + "/graph.tbl"
+	n, err := SaveFile(path, tab, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("SaveFile reported no bytes")
+	}
+	got, gotCol, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tab, got)
+	if gotCol == nil || !bytes.Equal(gotCol.Colors, col.Colors) {
+		t.Error("coloring lost through the file round trip")
 	}
 }
 
@@ -64,15 +125,33 @@ func TestReadTableRejectsGarbage(t *testing.T) {
 	if _, err := ReadTable(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input must fail")
 	}
-	// Plausible magic but absurd k.
 	var buf bytes.Buffer
-	tab := New(1, 2, false)
+	tab := testTable(t)
 	if _, err := tab.WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	data := buf.Bytes()
+	// Plausible magic but absurd k.
+	data := append([]byte(nil), buf.Bytes()...)
 	data[8] = 0xFF // k field
 	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
 		t.Error("implausible k must fail")
+	}
+	// Wrong version.
+	data = append([]byte(nil), buf.Bytes()...)
+	data[4] = 9
+	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
+		t.Error("unknown version must fail")
+	}
+	// Truncated arena.
+	data = buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
+		t.Error("truncated arena must fail")
+	}
+	// Corrupt payload byte: entry-level validation must catch it. Flip the
+	// last arena byte (a count varint terminator) to a continuation byte.
+	data = append([]byte(nil), buf.Bytes()...)
+	data[len(data)-1] |= 0x80
+	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt record payload must fail validation")
 	}
 }

@@ -1,178 +1,134 @@
-// Package table implements motivo's compact treelet count table
-// (paper, Section 3.1, "Motivo's count table").
+// Package table implements motivo's succinct treelet count table
+// (paper, Section 3.1, "Motivo's count table") as a build-once /
+// query-many storage engine.
 //
-// For every node v and treelet size h there is one Record: two parallel
-// arrays holding the colored-treelet keys s_TC in increasing (lexicographic
-// = integer) order and the *cumulative* 128-bit counts
-// η(T_C, v) = Σ_{T'_C' ≤ T_C} c(T'_C', v). Storing cumulative counts makes
+// For every node v and treelet size h there is one packed record: the
+// colored-treelet keys s_TC in increasing (lexicographic = integer) order
+// with their point counts, delta/varint-coded into a per-size byte arena
+// (see packed.go for the codec). A per-(size, node) offset index locates
+// each record; a sparse block index inside each record keeps the paper's
+// primitive costs:
 //
-//   - occ(v)        O(1)  (last cumulative value),
-//   - occ(T_C, v)   O(k)  (binary search + one subtraction),
-//   - iter(T, v)    O(k)  (binary search to the shape's contiguous range),
-//   - sample(v)     O(k)  (draw R ∈ [1, η_v], search first η ≥ R),
+//   - occ(v)        O(1)  (header total),
+//   - occ(T_C, v)   O(log + blockSize)  (block search + bounded scan),
+//   - iter(T, v)    O(log + blockSize)  (two lower bounds),
+//   - sample(v)     O(log + blockSize)  (block search on cumulatives),
 //
-// exactly the primitive set and costs listed in the paper.
+// exactly the primitive set of the paper, traded down from the dense
+// cumulative-array layout to ~4x less memory. Records are immutable once a
+// level is installed; readers take Record views (plain value types into
+// the arena) and queries allocate nothing.
 package table
 
 import (
-	"sort"
+	"fmt"
 
 	"repro/internal/treelet"
 	"repro/internal/u128"
 )
 
-// Record is the sorted count record of one node for one treelet size.
-// The zero value is an empty record (no colorful treelets at this node).
-type Record struct {
-	Keys []treelet.Colored
-	Cum  []u128.Uint128
+// level is one size level of the table: an arena of packed records plus
+// the per-node offset index (-1 marks an empty record).
+type level struct {
+	arena  []byte
+	starts []int64
 }
 
-// FromMap builds a Record from a scratch accumulation map, sorting keys and
-// accumulating counts (the "flush" of the greedy flushing strategy).
-func FromMap(m map[treelet.Colored]u128.Uint128) Record {
-	if len(m) == 0 {
-		return Record{}
-	}
-	keys := make([]treelet.Colored, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	cum := make([]u128.Uint128, len(keys))
-	run := u128.Zero
-	for i, k := range keys {
-		run = run.Add(m[k])
-		cum[i] = run
-	}
-	return Record{Keys: keys, Cum: cum}
-}
-
-// Len returns the number of (treelet, colorset) pairs stored.
-func (r *Record) Len() int { return len(r.Keys) }
-
-// Total returns occ(v): the total number of colorful treelet copies in the
-// record, in O(1).
-func (r *Record) Total() u128.Uint128 {
-	if len(r.Cum) == 0 {
-		return u128.Zero
-	}
-	return r.Cum[len(r.Cum)-1]
-}
-
-// Count returns occ(T_C, v): the count of one colored treelet, or zero if
-// absent.
-func (r *Record) Count(key treelet.Colored) u128.Uint128 {
-	i := sort.Search(len(r.Keys), func(i int) bool { return r.Keys[i] >= key })
-	if i == len(r.Keys) || r.Keys[i] != key {
-		return u128.Zero
-	}
-	return r.countAt(i)
-}
-
-// countAt recovers the point count at index i from the cumulative array.
-func (r *Record) countAt(i int) u128.Uint128 {
-	if i == 0 {
-		return r.Cum[0]
-	}
-	return r.Cum[i].Sub(r.Cum[i-1])
-}
-
-// At returns the i-th key and its point count.
-func (r *Record) At(i int) (treelet.Colored, u128.Uint128) {
-	return r.Keys[i], r.countAt(i)
-}
-
-// ShapeRange returns the half-open index range [lo, hi) of keys whose
-// treelet part equals t — the iter(T, v) primitive. All colorings of one
-// shape are contiguous because the shape occupies the key's high bits.
-func (r *Record) ShapeRange(t treelet.Treelet) (lo, hi int) {
-	min := treelet.MakeColored(t, 0)
-	max := treelet.MakeColored(t, 0xFFFF)
-	lo = sort.Search(len(r.Keys), func(i int) bool { return r.Keys[i] >= min })
-	hi = sort.Search(len(r.Keys), func(i int) bool { return r.Keys[i] > max })
-	return lo, hi
-}
-
-// ShapeTotal returns the total count of all colorings of shape t in O(k).
-func (r *Record) ShapeTotal(t treelet.Treelet) u128.Uint128 {
-	lo, hi := r.ShapeRange(t)
-	if lo == hi {
-		return u128.Zero
-	}
-	if lo == 0 {
-		return r.Cum[hi-1]
-	}
-	return r.Cum[hi-1].Sub(r.Cum[lo-1])
-}
-
-// Sample draws a key with probability proportional to its count: the
-// sample(v) primitive. It panics on an empty record.
-func (r *Record) Sample(rng u128.RandSource) treelet.Colored {
-	total := r.Total()
-	if total.IsZero() {
-		panic("table: Sample on empty record")
-	}
-	// R uniform in [1, total]; pick the first index with Cum ≥ R.
-	rv := u128.RandN(rng, total).Add64(1)
-	i := sort.Search(len(r.Cum), func(i int) bool { return r.Cum[i].Cmp(rv) >= 0 })
-	return r.Keys[i]
-}
-
-// SampleRange draws a key within the index range [lo, hi) with probability
-// proportional to its count — the restricted sample used by AGS's
-// sample(T) primitive.
-func (r *Record) SampleRange(rng u128.RandSource, lo, hi int) treelet.Colored {
-	var base u128.Uint128
-	if lo > 0 {
-		base = r.Cum[lo-1]
-	}
-	span := r.Cum[hi-1].Sub(base)
-	if span.IsZero() {
-		panic("table: SampleRange on empty range")
-	}
-	rv := base.Add(u128.RandN(rng, span).Add64(1))
-	i := lo + sort.Search(hi-lo, func(i int) bool { return r.Cum[lo+i].Cmp(rv) >= 0 })
-	return r.Keys[i]
-}
-
-// Bytes returns the in-memory footprint of the record payload: 8 bytes per
-// key + 16 per count. (Motivo packs pairs into 176 bits; Go slices are
-// word-aligned, so we report the actual 192-bit layout.)
-func (r *Record) Bytes() int64 {
-	return int64(len(r.Keys)) * (8 + 16)
-}
-
-// Table is the complete treelet count table of a colored graph: one Record
-// per node per size 1..K. With ZeroRooted set, size-K records exist only at
-// color-0 nodes (Section 3.2), each unrooted size-K copy counted exactly
-// once.
+// Table is the complete treelet count table of a colored graph: one packed
+// record per node per size 1..K. With ZeroRooted set, size-K records exist
+// only at color-0 nodes (Section 3.2), each unrooted size-K copy counted
+// exactly once.
 type Table struct {
 	K          int
 	N          int
 	ZeroRooted bool
-	// Recs[h][v] is the record of node v for size h (index 0 unused).
-	Recs [][]Record
+	levels     []level // levels[h], index 0 unused
 }
 
 // New allocates an empty table for n nodes and treelets up to size k.
 func New(n, k int, zeroRooted bool) *Table {
-	t := &Table{K: k, N: n, ZeroRooted: zeroRooted, Recs: make([][]Record, k+1)}
+	t := &Table{K: k, N: n, ZeroRooted: zeroRooted, levels: make([]level, k+1)}
 	for h := 1; h <= k; h++ {
-		t.Recs[h] = make([]Record, n)
+		t.levels[h] = emptyLevel(n)
 	}
 	return t
 }
 
-// Rec returns the record of node v at size h.
-func (t *Table) Rec(h int, v int32) *Record { return &t.Recs[h][v] }
+func emptyLevel(n int) level {
+	starts := make([]int64, n)
+	for i := range starts {
+		starts[i] = -1
+	}
+	return level{starts: starts}
+}
+
+// Rec returns the packed record view of node v at size h (the zero Record
+// if the node has none). Views stay valid as long as the level is not
+// replaced.
+func (t *Table) Rec(h int, v int32) Record {
+	lv := &t.levels[h]
+	off := lv.starts[v]
+	if off < 0 {
+		return Record{}
+	}
+	r, err := ViewRecord(lv.arena[off:])
+	if err != nil {
+		panic(fmt.Sprintf("table: corrupt record h=%d v=%d: %v", h, v, err))
+	}
+	return r
+}
+
+// SetRec encodes p as the record of node v at size h, appending it to the
+// level arena. It is a sequential builder API (levelOne, tests); the
+// concurrent build pass goes through LevelWriter instead. Setting an
+// already-set record is a programming error.
+func (t *Table) SetRec(h int, v int32, p *Pairs) {
+	if p.Len() == 0 {
+		return
+	}
+	lv := &t.levels[h]
+	if lv.starts[v] >= 0 {
+		panic(fmt.Sprintf("table: record h=%d v=%d set twice", h, v))
+	}
+	lv.starts[v] = int64(len(lv.arena))
+	lv.arena = AppendRecord(lv.arena, p)
+}
+
+// SetLevel installs a complete size level from an arena of packed records
+// and their per-node start offsets, compacting the arena into node order so
+// the table layout is deterministic regardless of the order records were
+// produced in (concurrent builders flush in scheduling order).
+func (t *Table) SetLevel(h int, arena []byte, starts []int64) error {
+	if len(starts) != t.N {
+		return fmt.Errorf("table: level %d has %d offsets, table has %d nodes", h, len(starts), t.N)
+	}
+	compact := make([]byte, 0, len(arena))
+	newStarts := make([]int64, t.N)
+	for v, off := range starts {
+		if off < 0 {
+			newStarts[v] = -1
+			continue
+		}
+		if off > int64(len(arena)) {
+			return fmt.Errorf("table: level %d record %d offset %d beyond arena", h, v, off)
+		}
+		r, err := ViewRecord(arena[off:])
+		if err != nil {
+			return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+		}
+		newStarts[v] = int64(len(compact))
+		compact = append(compact, arena[off:off+int64(r.enc)]...)
+	}
+	t.levels[h] = level{arena: compact, starts: newStarts}
+	return nil
+}
 
 // TotalK returns the total number of colorful k-treelet copies in the urn
 // (the paper's t) — the sum of occ(v) over the size-K records.
 func (t *Table) TotalK() u128.Uint128 {
 	sum := u128.Zero
-	for v := range t.Recs[t.K] {
-		sum = sum.Add(t.Recs[t.K][v].Total())
+	for v := int32(0); int(v) < t.N; v++ {
+		sum = sum.Add(t.Rec(t.K, v).Total())
 	}
 	return sum
 }
@@ -185,23 +141,25 @@ func (t *Table) ShapeTotals(cat *treelet.Catalog) map[treelet.Treelet]u128.Uint1
 	for _, u := range cat.UnrootedK {
 		out[u] = u128.Zero
 	}
-	for v := range t.Recs[t.K] {
-		r := &t.Recs[t.K][v]
-		for i := range r.Keys {
-			shape := cat.Unrooted(r.Keys[i].Tree())
-			out[shape] = out[shape].Add(r.countAt(i))
+	for v := int32(0); int(v) < t.N; v++ {
+		r := t.Rec(t.K, v)
+		c := r.Cursor(0)
+		for i := 0; i < r.Len(); i++ {
+			key, cnt := c.Next()
+			shape := cat.Unrooted(key.Tree())
+			out[shape] = out[shape].Add(cnt)
 		}
 	}
 	return out
 }
 
-// Bytes returns the total payload size of all records.
+// Bytes returns the storage footprint of the table: the packed arenas plus
+// the per-(size, node) offset index (8 bytes per node per level).
 func (t *Table) Bytes() int64 {
 	var b int64
 	for h := 1; h <= t.K; h++ {
-		for v := range t.Recs[h] {
-			b += t.Recs[h][v].Bytes()
-		}
+		b += int64(len(t.levels[h].arena))
+		b += int64(8 * len(t.levels[h].starts))
 	}
 	return b
 }
@@ -210,9 +168,34 @@ func (t *Table) Bytes() int64 {
 func (t *Table) Pairs() int64 {
 	var p int64
 	for h := 1; h <= t.K; h++ {
-		for v := range t.Recs[h] {
-			p += int64(t.Recs[h][v].Len())
+		for v := int32(0); int(v) < t.N; v++ {
+			p += int64(t.Rec(h, v).Len())
 		}
 	}
 	return p
+}
+
+// Validate walks every record of every level checking entry-level
+// integrity — the deep check load paths run on untrusted bytes.
+func (t *Table) Validate() error {
+	for h := 1; h <= t.K; h++ {
+		for v := int32(0); int(v) < t.N; v++ {
+			lv := &t.levels[h]
+			off := lv.starts[v]
+			if off < 0 {
+				continue
+			}
+			if off > int64(len(lv.arena)) {
+				return fmt.Errorf("table: level %d record %d offset beyond arena", h, v)
+			}
+			r, err := ViewRecord(lv.arena[off:])
+			if err != nil {
+				return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+			}
+			if err := r.Validate(); err != nil {
+				return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+			}
+		}
+	}
+	return nil
 }

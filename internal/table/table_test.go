@@ -25,16 +25,28 @@ func TestFromMapSortedCumulative(t *testing.T) {
 	if r.Len() != 4 {
 		t.Fatalf("len %d", r.Len())
 	}
-	for i := 1; i < r.Len(); i++ {
-		if r.Keys[i-1] >= r.Keys[i] {
+	c := r.Cursor(0)
+	var prev treelet.Colored
+	cum := u128.Zero
+	for i := 0; i < r.Len(); i++ {
+		k, cnt := c.Next()
+		if i > 0 && prev >= k {
 			t.Fatal("keys not strictly sorted")
 		}
-		if r.Cum[i].Cmp(r.Cum[i-1]) <= 0 {
-			t.Fatal("cumulative not increasing")
+		if cnt.IsZero() {
+			t.Fatal("zero point count encoded")
+		}
+		prev = k
+		cum = cum.Add(cnt)
+		if got := r.CumAt(i); got != cum {
+			t.Fatalf("CumAt(%d) = %v, want %v", i, got, cum)
 		}
 	}
 	if r.Total() != u128.From64(15) {
 		t.Errorf("total %v", r.Total())
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
 	}
 }
 
@@ -60,6 +72,9 @@ func TestEmptyRecord(t *testing.T) {
 	if e := FromMap(nil); e.Len() != 0 {
 		t.Fatal("FromMap(nil) should be empty")
 	}
+	if lo, hi := r.ShapeRange(treelet.FromParents([]int{0, 0})); lo != 0 || hi != 0 {
+		t.Fatal("empty record should have empty shape ranges")
+	}
 }
 
 func TestShapeRangeAndTotal(t *testing.T) {
@@ -71,6 +86,9 @@ func TestShapeRangeAndTotal(t *testing.T) {
 	}
 	if got := r.ShapeTotal(edge); got != u128.From64(7) {
 		t.Errorf("edge shape total %v, want 7", got)
+	}
+	if got := r.RangeTotal(lo, hi); got != u128.From64(7) {
+		t.Errorf("edge range total %v, want 7", got)
 	}
 	star3 := treelet.FromParents([]int{0, 0, 0})
 	if got := r.ShapeTotal(star3); got != u128.From64(1) {
@@ -128,21 +146,24 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ds.Close()
-	r0 := FromMap(sampleMap())
-	if err := ds.Flush(0, r0); err != nil {
+	var p0 Pairs
+	p0.FromMap(sampleMap())
+	enc0 := AppendRecord(nil, &p0)
+	if err := ds.Flush(0, enc0); err != nil {
 		t.Fatal(err)
 	}
-	r3 := FromMap(map[treelet.Colored]u128.Uint128{
+	var p3 Pairs
+	p3.FromMap(map[treelet.Colored]u128.Uint128{
 		treelet.MakeColored(treelet.Leaf, 0b1): {Hi: 2, Lo: 3},
 	})
-	if err := ds.Flush(3, r3); err != nil {
+	if err := ds.Flush(3, AppendRecord(nil, &p3)); err != nil {
 		t.Fatal(err)
 	}
 	got0, err := ds.Load(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got0.Len() != r0.Len() || got0.Total() != r0.Total() {
+	if got0.Len() != p0.Len() || got0.Total() != u128.From64(15) {
 		t.Fatal("record 0 round trip failed")
 	}
 	got1, err := ds.Load(1)
@@ -152,16 +173,23 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 	if got1.Len() != 0 {
 		t.Fatal("unflushed record should load empty")
 	}
-	all, err := ds.LoadAll()
+	arena, starts, err := ds.LoadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 || all[0].Len() != r0.Len() || all[3].Total() != r3.Total() || all[2].Len() != 0 {
-		t.Fatal("LoadAll mismatch")
+	if len(starts) != 5 || starts[0] != 0 || starts[2] != -1 || starts[3] != int64(len(enc0)) {
+		t.Fatalf("LoadAll starts mismatch: %v", starts)
+	}
+	tab := New(5, 1, false)
+	if err := tab.SetLevel(1, arena, starts); err != nil {
+		t.Fatal(err)
 	}
 	// 128-bit counts survive.
-	if all[3].Cum[0] != (u128.Uint128{Hi: 2, Lo: 3}) {
-		t.Fatalf("hi bits lost: %v", all[3].Cum[0])
+	if _, cnt := tab.Rec(1, 3).At(0); cnt != (u128.Uint128{Hi: 2, Lo: 3}) {
+		t.Fatalf("hi bits lost: %v", cnt)
+	}
+	if tab.Rec(1, 0).Len() != p0.Len() {
+		t.Fatal("record 0 lost through SetLevel")
 	}
 	if ds.Size() == 0 {
 		t.Error("spill size should be positive")
@@ -170,16 +198,25 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 
 func TestTableAccounting(t *testing.T) {
 	tab := New(3, 2, true)
-	tab.Recs[2][0] = FromMap(map[treelet.Colored]u128.Uint128{
+	var p Pairs
+	p.FromMap(map[treelet.Colored]u128.Uint128{
 		treelet.MakeColored(treelet.FromParents([]int{0, 0}), 0b11): u128.From64(4),
 	})
+	tab.SetRec(2, 0, &p)
 	if tab.TotalK() != u128.From64(4) {
 		t.Errorf("TotalK = %v", tab.TotalK())
 	}
 	if tab.Pairs() != 1 {
 		t.Errorf("Pairs = %d", tab.Pairs())
 	}
-	if tab.Bytes() != 24 {
-		t.Errorf("Bytes = %d", tab.Bytes())
+	// Packed accounting: the single record (≈ a dozen bytes) plus the
+	// 8-byte-per-node-per-level offset index.
+	rec := tab.Rec(2, 0)
+	want := rec.Bytes() + 8*3*2
+	if tab.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", tab.Bytes(), want)
+	}
+	if rec.Bytes() >= 24 {
+		t.Errorf("packed single-pair record takes %d bytes, dense layout was 24", rec.Bytes())
 	}
 }

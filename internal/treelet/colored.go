@@ -21,24 +21,34 @@ func (s ColorSet) Union(t ColorSet) ColorSet { return s | t }
 // Has reports whether color c is in the set.
 func (s ColorSet) Has(c uint8) bool { return s&(1<<c) != 0 }
 
+// ColorBits is the width of the color-set field in a Colored key: one bit
+// per color, and the coloring layer caps k at 16.
+const ColorBits = 16
+
+// MaxColorSet is the largest value the color field of a Colored key can
+// hold (all ColorBits colors present). It doubles as the mask that extracts
+// the color field, and as the upper sentinel when searching for the last
+// coloring of a shape in a sorted record.
+const MaxColorSet ColorSet = 1<<ColorBits - 1
+
 // Colored packs a colored rooted treelet (T, C) into one word: the treelet
 // code in the high 32 bits (only 30 used) and the color characteristic
-// vector in the low 16 bits — 46 significant bits, as in the paper. The
-// integer order over Colored values sorts first by treelet, then by color
-// set, which is the key order of the count table: all colorings of the same
-// shape are contiguous in a record.
+// vector in the low ColorBits bits — 46 significant bits, as in the paper.
+// The integer order over Colored values sorts first by treelet, then by
+// color set, which is the key order of the count table: all colorings of
+// the same shape are contiguous in a record.
 type Colored uint64
 
 // MakeColored packs t and its color set.
 func MakeColored(t Treelet, cs ColorSet) Colored {
-	return Colored(t)<<16 | Colored(cs)
+	return Colored(t)<<ColorBits | Colored(cs)
 }
 
 // Tree returns the treelet part.
-func (c Colored) Tree() Treelet { return Treelet(c >> 16) }
+func (c Colored) Tree() Treelet { return Treelet(c >> ColorBits) }
 
 // Colors returns the color-set part.
-func (c Colored) Colors() ColorSet { return ColorSet(c & 0xFFFF) }
+func (c Colored) Colors() ColorSet { return ColorSet(c) & MaxColorSet }
 
 // Size returns the number of nodes (= number of colors, since only colorful
 // treelets are stored).

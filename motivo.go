@@ -120,6 +120,13 @@ type Options struct {
 	SampleWorkers int
 	// Spill streams the count table through temp files (greedy flushing).
 	Spill bool
+	// TablePath, when set, makes Count skip the build-up phase and open a
+	// count table persisted by BuildTable (or `motivo build -o`) instead —
+	// the build-once / query-many serving mode. Requires Colorings ≤ 1 and
+	// K matching the saved table; Lambda must be unset (the saved coloring
+	// is used). A Count at seed s over a table saved by BuildTable at seed
+	// s yields bit-identical estimates to a fully in-memory run.
+	TablePath string
 }
 
 // Estimate is one graphlet's estimated occurrence count and relative
@@ -180,18 +187,7 @@ func Count(g *Graph, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	res, err := core.Count(g, core.Config{
-		K:                  opts.K,
-		Colorings:          opts.Colorings,
-		SamplesPerColoring: opts.Samples,
-		Strategy:           opts.Strategy,
-		CoverThreshold:     opts.CoverThreshold,
-		BiasedLambda:       opts.Lambda,
-		Seed:               opts.Seed,
-		Workers:            opts.Workers,
-		SampleWorkers:      opts.SampleWorkers,
-		Spill:              opts.Spill,
-	})
+	res, err := core.Count(g, coreConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +198,62 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		BuildTime:  res.BuildTime,
 		SampleTime: res.SampleTime,
 		TableBytes: res.TableBytes,
+	}, nil
+}
+
+// coreConfig maps completed Options onto the pipeline config — one
+// translation shared by Count and BuildTable so both apply identical
+// defaulting and a saved table replays exactly.
+func coreConfig(opts Options) core.Config {
+	return core.Config{
+		K:                  opts.K,
+		Colorings:          opts.Colorings,
+		SamplesPerColoring: opts.Samples,
+		Strategy:           opts.Strategy,
+		CoverThreshold:     opts.CoverThreshold,
+		BiasedLambda:       opts.Lambda,
+		Seed:               opts.Seed,
+		Workers:            opts.Workers,
+		SampleWorkers:      opts.SampleWorkers,
+		Spill:              opts.Spill,
+		TablePath:          opts.TablePath,
+	}
+}
+
+// TableInfo reports what BuildTable did.
+type TableInfo struct {
+	// BuildTime is the wall-clock time of the build-up phase.
+	BuildTime time.Duration
+	// TableBytes is the packed in-memory table footprint; Pairs the number
+	// of (treelet, colorset, count) entries it holds.
+	TableBytes int64
+	Pairs      int64
+	// FileBytes is the size of the persisted table file.
+	FileBytes int64
+}
+
+// BuildTable runs the coloring and build-up phase once and persists the
+// count table to path, so repeated Count calls with Options.TablePath can
+// skip the build — the build-once / query-many workflow. Options fields
+// that only affect sampling (Samples, Strategy, …) are ignored. K and Seed
+// must match the later queries; Lambda applies at build time only (queries
+// read the saved coloring and must leave Lambda unset).
+func BuildTable(g *Graph, opts Options, path string) (*TableInfo, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	stats, fileBytes, err := core.BuildTable(g, coreConfig(opts), path)
+	if err != nil {
+		return nil, err
+	}
+	return &TableInfo{
+		BuildTime:  stats.Duration,
+		TableBytes: stats.TableBytes,
+		Pairs:      stats.Pairs,
+		FileBytes:  fileBytes,
 	}, nil
 }
 
