@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json fuzz staticcheck fmt fmt-check vet quickstart ci
+.PHONY: all build test bench bench-json fuzz staticcheck fmt fmt-check vet quickstart serve-smoke ci
 
 all: build
 
@@ -51,4 +51,18 @@ vet:
 quickstart:
 	$(GO) run ./examples/quickstart
 
-ci: fmt-check vet build test fuzz bench quickstart
+# The serve smoke CI runs: build a tiny table, start `motivo serve`, query
+# it over HTTP, assert 200 + valid JSON on /count and /stats (needs
+# curl + jq). One copy of the script — the workflow step calls this target.
+serve-smoke:
+	$(GO) build -o /tmp/motivo-smoke ./cmd/motivo
+	/tmp/motivo-smoke gen -type er -n 80 -m 240 -seed 1 -o /tmp/motivo-smoke.txt
+	/tmp/motivo-smoke build -i /tmp/motivo-smoke.txt -k 4 -seed 5 -o /tmp/motivo-smoke.tbl
+	/tmp/motivo-smoke serve -i /tmp/motivo-smoke.txt -table /tmp/motivo-smoke.tbl -addr 127.0.0.1:18080 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 50); do curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
+	curl -fsS -X POST http://127.0.0.1:18080/count -d '{"strategy":"ags","samples":5000,"seed":7,"top":3}' \
+		| jq -e '.k == 4 and (.counts | length) > 0 and .samples == 5000'; \
+	curl -fsS http://127.0.0.1:18080/stats | jq -e '.queries == 1 and .openMs > 0'
+
+ci: fmt-check vet build test fuzz bench quickstart serve-smoke

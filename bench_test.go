@@ -5,6 +5,7 @@
 package motivo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/ccbaseline"
 	"repro/internal/coloring"
+	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/exact"
 	"repro/internal/gen"
@@ -36,7 +38,7 @@ func buildFor(b *testing.B, g *graph.Graph, k int, zeroRooted bool, workers int)
 	opts := build.DefaultOptions()
 	opts.ZeroRooted = zeroRooted
 	opts.Workers = workers
-	tab, stats, err := build.Run(g, col, k, cat, opts)
+	tab, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func BenchmarkFig2CheckMergeSuccinct(b *testing.B) {
 		opts := build.DefaultOptions()
 		opts.ZeroRooted = false
 		opts.Workers = 1
-		_, stats, err := build.Run(g, col, 5, cat, opts)
+		_, stats, err := build.Run(context.Background(), g, col, 5, cat, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -94,7 +96,7 @@ func BenchmarkFig3BuildMotivo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := build.DefaultOptions()
 		opts.ZeroRooted = false
-		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -120,7 +122,7 @@ func BenchmarkFig3BuildMotivoSpill(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := build.DefaultOptions()
 		opts.SpillDir = dir
-		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -136,7 +138,7 @@ func BenchmarkFig4ZeroRootingOff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		opts := build.DefaultOptions()
 		opts.ZeroRooted = false
-		if _, _, err := build.Run(g, col, 5, cat, opts); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,7 +150,7 @@ func BenchmarkFig4ZeroRootingOn(b *testing.B) {
 	cat := treelet.NewCatalog(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, build.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -204,7 +206,7 @@ func BenchmarkFig6BuildUniform(b *testing.B) {
 	col := coloring.Uniform(g.NumNodes(), 5, 1019)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, build.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,7 +218,7 @@ func BenchmarkFig6BuildBiased(b *testing.B) {
 	col := coloring.Biased(g.NumNodes(), 5, 0.12, 1019)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := build.Run(g, col, 5, cat, build.DefaultOptions()); err != nil {
+		if _, _, err := build.Run(context.Background(), g, col, 5, cat, build.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -234,7 +236,7 @@ func BenchmarkFig7Scaling(b *testing.B) {
 			b.ResetTimer()
 			var bytes int64
 			for i := 0; i < b.N; i++ {
-				_, stats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+				_, stats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -277,7 +279,7 @@ func BenchmarkFig8AGSPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, err = ags.Run(urn, ags.Options{
+		_, err = ags.Run(context.Background(), urn, ags.Options{
 			CoverThreshold: 200,
 			Budget:         2000,
 			Rng:            rand.New(rand.NewSource(int64(1031 + i))),
@@ -304,7 +306,7 @@ func benchAGS(b *testing.B, workers int) {
 	const budget = 20000
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := ags.Run(urn.Clone(), ags.Options{
+		_, err := ags.Run(context.Background(), urn.Clone(), ags.Options{
 			CoverThreshold: 200,
 			Budget:         budget,
 			Workers:        workers,
@@ -340,7 +342,7 @@ func BenchmarkTableBytesPerPair(b *testing.B) {
 	var bytes, pairs int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, stats, err := build.Run(g, col, 5, cat, build.DefaultOptions())
+		_, stats, err := build.Run(context.Background(), g, col, 5, cat, build.DefaultOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -355,7 +357,7 @@ func benchBuiltTable(b *testing.B) (*table.Table, *coloring.Coloring) {
 	b.Helper()
 	g := storageGraph()
 	col := coloring.Uniform(g.NumNodes(), 5, 1007)
-	tab, _, err := build.Run(g, col, 5, treelet.NewCatalog(5), build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, 5, treelet.NewCatalog(5), build.DefaultOptions())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -448,4 +450,86 @@ func BenchmarkSpanningTreeShapes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		graphlet.SpanningTreeShapes(6, c, cat)
 	}
+}
+
+// --- Engine: amortized query sessions vs cold one-shot queries -----------
+
+// servingTable persists the storage workload's table once for the serving
+// benchmarks.
+func servingTable(b *testing.B) (*graph.Graph, string) {
+	b.Helper()
+	g := storageGraph()
+	path := b.TempDir() + "/serving.tbl"
+	if _, _, err := core.BuildTable(g, core.Config{K: 5, Seed: 1007}, path); err != nil {
+		b.Fatal(err)
+	}
+	return g, path
+}
+
+// servingQueryBudget is deliberately small: the point of these benchmarks
+// is the per-query *setup* cost (table open + urn construction vs an O(1)
+// clone), which a huge sampling budget would drown out.
+const servingQueryBudget = 200
+
+// BenchmarkColdCount is the pre-engine serving shape: every query re-opens
+// the persisted table, re-validates it and rebuilds the urn's alias tables
+// before sampling. Compare ns/op and allocs/op against
+// BenchmarkEngineQuery — the gap is the per-query setup cost the Engine
+// amortizes away.
+func BenchmarkColdCount(b *testing.B) {
+	g, path := servingTable(b)
+	cfg := core.Config{
+		K: 5, Colorings: 1, SamplesPerColoring: servingQueryBudget,
+		Seed: 1009, TablePath: path,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Count(g, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/query")
+}
+
+// BenchmarkEngineQuery serves the same query from a long-lived engine: the
+// table open and urn construction happened once in core.Open, so each
+// iteration pays only an O(1) urn clone plus the sampling itself.
+func BenchmarkEngineQuery(b *testing.B) {
+	g, path := servingTable(b)
+	eng, err := core.Open(g, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Samples: servingQueryBudget, Seed: 1009}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Count(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/query")
+}
+
+// BenchmarkEngineQueryAGS tracks the adaptive arm of the serving path,
+// including the amortized per-shape urns (prepared once per engine, cloned
+// per query).
+func BenchmarkEngineQueryAGS(b *testing.B) {
+	g, path := servingTable(b)
+	eng, err := core.Open(g, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Strategy: core.AGS, Samples: servingQueryBudget, CoverThreshold: 200, Seed: 1009}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Count(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/query")
 }

@@ -1,6 +1,7 @@
 // Command motivo is the command-line interface to the library: generate
 // synthetic graphs, inspect the build-up phase, count graphlets with naive
-// or adaptive sampling, and compute exact counts on small inputs.
+// or adaptive sampling, serve a persisted table over HTTP, and compute
+// exact counts on small inputs.
 //
 // Usage:
 //
@@ -8,22 +9,31 @@
 //	motivo build -i graph.txt -k 5 -o graph.tbl
 //	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
 //	motivo count -i graph.txt -k 5 -table graph.tbl -samples 100000
+//	motivo serve -i graph.txt -table graph.tbl -addr :8080
 //	motivo exact -i graph.txt -k 4
 //
 // `build -o` persists the count table; `count -table` opens it and skips
-// the build — build once, query many.
+// the build — build once, query many. `serve` keeps one engine open and
+// answers JSON count queries over HTTP (see internal/serve for the API).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
+	"time"
 
 	motivo "repro"
 	"repro/internal/build"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/serve"
 	"repro/internal/table"
 	"repro/internal/treelet"
 )
@@ -41,6 +51,8 @@ func main() {
 		err = cmdBuild(os.Args[2:])
 	case "count":
 		err = cmdCount(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "exact":
 		err = cmdExact(os.Args[2:])
 	case "-h", "--help", "help":
@@ -63,6 +75,7 @@ commands:
   gen    generate a synthetic graph (-type ba|er|star|lollipop)
   build  run only the build-up phase and report statistics
   count  estimate graphlet counts (naive or AGS sampling)
+  serve  serve JSON count queries over HTTP from a persisted table
   exact  exact counts by exhaustive enumeration (small graphs)`)
 }
 
@@ -146,7 +159,7 @@ func cmdBuild(args []string) error {
 	cat := treelet.NewCatalog(*k)
 	opts := build.DefaultOptions()
 	opts.Spill = *spill
-	tab, stats, err := build.Run(g, col, *k, cat, opts)
+	tab, stats, err := build.Run(context.Background(), g, col, *k, cat, opts)
 	if err != nil {
 		return err
 	}
@@ -185,6 +198,7 @@ func cmdCount(args []string) error {
 	tablePath := fs.String("table", "", "open a persisted count table (`motivo build -o`) instead of building")
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
+	verbose := fs.Bool("v", false, "print phase timing detail (open vs build vs sampling, AGS coverage)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("count: -i is required")
@@ -224,17 +238,84 @@ func cmdCount(args []string) error {
 	if err != nil {
 		return err
 	}
-	phase := "build"
+	phase, phaseTime := "build", res.BuildTime
 	if *tablePath != "" {
-		phase = "table open"
+		// A persisted table is opened, not built: OpenTime is the honest
+		// cost of this phase (BuildTime stays zero).
+		phase, phaseTime = "table open", res.OpenTime
 	}
 	fmt.Printf("%s %v, sampling %v, %d samples, table %.1f MiB, %d distinct graphlets\n",
-		phase, res.BuildTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
+		phase, phaseTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
 		float64(res.TableBytes)/(1<<20), len(res.Counts))
+	if *verbose {
+		fmt.Printf("  open time:   %v\n", res.OpenTime.Round(1e3))
+		fmt.Printf("  build time:  %v\n", res.BuildTime.Round(1e3))
+		fmt.Printf("  sample time: %v\n", res.SampleTime.Round(1e3))
+		if strat == core.AGS {
+			fmt.Printf("  covered:     %d graphlets reached c̄=%d\n", res.Covered, *cover)
+		}
+	}
 	for i, e := range res.Top(*top) {
 		fmt.Printf("%3d. %-30s %14.4g  (%8.5f%%)\n",
 			i+1, motivo.Describe(*k, e.Code), e.Count, 100*e.Frequency)
 	}
+	return nil
+}
+
+// cmdServe opens one long-lived engine over a persisted table and serves
+// JSON count queries until SIGINT/SIGTERM — the build-once / query-many
+// workflow as a network service: the table open and urn construction run
+// once here, and every request pays only for its own sampling.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	in := fs.String("i", "", "input edge-list file (required)")
+	tablePath := fs.String("table", "", "persisted count table to serve (required, from `motivo build -o`)")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(args)
+	if *in == "" || *tablePath == "" {
+		return fmt.Errorf("serve: -i and -table are required")
+	}
+	g, err := loadGraph(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := core.Open(g, *tablePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "motivo: opened %s in %v (k=%d, %.1f MiB); serving on %s\n",
+		*tablePath, eng.OpenTime().Round(1e6), eng.K(),
+		float64(eng.TableBytes())/(1<<20), *addr)
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(eng),
+		// Bound how long a connection may dribble its headers/body in, so
+		// slow or hostile clients can't pin goroutines and descriptors
+		// forever. No WriteTimeout: big sampling queries legitimately take
+		// a while to answer, and their lifetime is the request context's.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Restore default signal handling first: a second SIGINT/SIGTERM
+		// force-kills instead of being swallowed while we drain.
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx) //nolint:errcheck // exiting either way
+	}()
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-drained // let in-flight queries finish (bounded by the timeout above)
+	fmt.Fprintln(os.Stderr, "motivo: serve shut down")
 	return nil
 }
 

@@ -2,18 +2,22 @@
 // a heavy-tailed graph with hundreds of thousands of edges, counted at
 // k=6 with biased coloring (Section 3.4) and greedy flushing of the table
 // through disk (Section 3.1), the two levers motivo uses to reach
-// billion-edge graphs on 64 GB machines — combined with the storage
-// engine's serving workflow: the packed count table is built and persisted
-// ONCE, then every query opens it with one sequential read and goes
-// straight to sampling. That is the shape of a production deployment: a
-// periodic (expensive) build job feeding many (cheap) query processes.
+// billion-edge graphs on 64 GB machines — combined with the engine's
+// serving workflow: the packed count table is built and persisted ONCE,
+// opened into a long-lived motivo.Engine ONCE, and every query then costs
+// only an O(1) urn clone plus its own sampling. That is the shape of a
+// production deployment: a periodic (expensive) build job feeding one
+// resident query engine (`motivo serve`) that answers arbitrarily many
+// requests.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	motivo "repro"
 )
@@ -50,31 +54,36 @@ func main() {
 		float64(info.TableBytes)/float64(info.Pairs))
 	fmt.Printf("  persisted to %s (%.1f MiB)\n", path, float64(info.FileBytes)/(1<<20))
 
-	// Query many: each request opens the saved table and samples — no
-	// rebuild, whatever the strategy or budget.
-	queries := []struct {
-		name     string
-		strategy motivo.Strategy
-		samples  int
-	}{
-		{"naive, 50k samples", motivo.Naive, 50000},
-		{"naive, 20k samples", motivo.Naive, 20000},
-		{"AGS, 50k samples", motivo.AGS, 50000},
+	// Open once: the table is read, validated and turned into the master
+	// sampling urn here — and never again, however many queries follow.
+	eng, err := motivo.Open(g, path)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("\n[open once]\n")
+	fmt.Printf("  engine ready in %v (vs %v build) — every query below skips both\n",
+		eng.OpenTime().Round(1e6), info.BuildTime.Round(1e6))
+
+	// Query many: each request is a cheap clone off the resident engine —
+	// no table re-open, no urn rebuild, whatever the strategy or budget.
+	ctx := context.Background()
+	queries := []struct {
+		name  string
+		query motivo.Query
+	}{
+		{"naive, 50k samples", motivo.Query{Strategy: motivo.Naive, Samples: 50000, Seed: 17}},
+		{"naive, 20k samples", motivo.Query{Strategy: motivo.Naive, Samples: 20000, Seed: 17}},
+		{"AGS, 50k samples", motivo.Query{Strategy: motivo.AGS, Samples: 50000, Seed: 17}},
+	}
+	var amortized time.Duration
 	for _, q := range queries {
-		res, err := motivo.Count(g, motivo.Options{
-			K:         k,
-			Samples:   q.samples,
-			Strategy:  q.strategy,
-			Seed:      17,
-			TablePath: path,
-		})
+		res, err := eng.Count(ctx, q.query)
 		if err != nil {
 			log.Fatal(err)
 		}
+		amortized += eng.OpenTime() // what a cold per-query open would have re-paid
 		fmt.Printf("\n[query: %s]\n", q.name)
-		fmt.Printf("  table open %v (vs %v build), sampling %v, %d samples\n",
-			res.BuildTime.Round(1e6), info.BuildTime.Round(1e6),
+		fmt.Printf("  sampling %v, %d samples — no table open, no urn rebuild\n",
 			res.SampleTime.Round(1e6), res.Samples)
 		fmt.Printf("  distinct %d-graphlets observed: %d\n", k, len(res.Counts))
 		for i, e := range res.Top(3) {
@@ -82,7 +91,11 @@ func main() {
 				i+1, motivo.Describe(k, e.Code), e.Count, 100*e.Frequency)
 		}
 	}
-	fmt.Println("\nThe build ran once; every query paid only a sequential table")
-	fmt.Println("open. Biased coloring shrank the table before it was packed —")
-	fmt.Println("the two levers compose.")
+
+	fmt.Printf("\nThe build ran once and the engine opened once (%v); the three\n",
+		eng.OpenTime().Round(1e6))
+	fmt.Printf("queries above would have re-paid ~%v of table open + urn\n",
+		amortized.Round(1e6))
+	fmt.Println("construction as one-shot runs — the engine amortizes all of it,")
+	fmt.Println("and `motivo serve` exposes this exact session over HTTP.")
 }

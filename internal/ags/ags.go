@@ -42,6 +42,7 @@
 package ags
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -79,6 +80,13 @@ type Options struct {
 	// barriers in parallel mode; 0 means DefaultEpochSize. Ignored when
 	// Workers ≤ 1.
 	EpochSize int
+	// Shapes, when non-nil, supplies the prepared per-shape machinery of
+	// the urn's table (PrepareShapes), skipping the O(n · shapes) shape-urn
+	// construction this Run would otherwise pay. The urn passed to Run must
+	// be (a clone of) the urn the set was prepared from: the per-shape
+	// alias state is valid only against that table. Results are
+	// bit-identical with and without a prepared set.
+	Shapes *ShapeSet
 }
 
 // DefaultOptions mirror the paper's experimental settings.
@@ -125,11 +133,14 @@ type engine struct {
 	res  *Result
 }
 
-// wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j.
+// wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j. The sum walks the
+// shapes in their fixed sorted order, so the float accumulation — and with
+// it every estimate — is bit-identical across runs and across engines.
 func (e *engine) wi(code graphlet.Code) float64 {
 	row := e.sigma.Of(code)
 	var w float64
-	for s, n := range e.nj {
+	for _, s := range e.shapes {
+		n := e.nj[s]
 		if n == 0 {
 			continue
 		}
@@ -187,8 +198,74 @@ func (e *engine) switchShape() {
 	}
 }
 
-// Run executes AGS on the urn.
-func Run(urn *sample.Urn, opts Options) (*Result, error) {
+// ShapeSet is the prepared, immutable sample(T) machinery of one count
+// table: every unrooted k-treelet shape with colorful occurrences (in
+// deterministic sorted order), its master per-shape urn, the shape weights
+// r_j, the initial shape of Section 4, and a shared σ_ij cache. Building
+// one costs a pass over the size-k records per shape; a long-lived engine
+// prepares it once and hands it to every Run through Options.Shapes, where
+// the master urns are cloned in O(1) onto the query's own Urn clone.
+type ShapeSet struct {
+	shapes  []treelet.Treelet
+	urns    map[treelet.Treelet]*sample.ShapeUrn
+	rj      map[treelet.Treelet]float64
+	initial treelet.Treelet
+	sigma   *estimate.SigmaShapes
+}
+
+// PrepareShapes builds the per-shape sampling state of the urn's table.
+// The returned set is read-only and safe to share across concurrent Run
+// calls (each run samples through clones, never the masters).
+func PrepareShapes(urn *sample.Urn) (*ShapeSet, error) {
+	if urn.Empty() {
+		return nil, fmt.Errorf("ags: urn is empty")
+	}
+	cat := urn.Cat
+
+	// Shapes with at least one colorful occurrence, in deterministic order.
+	totals := urn.Tab.ShapeTotals(cat)
+	var shapes []treelet.Treelet
+	for _, s := range cat.UnrootedK {
+		if !totals[s].IsZero() {
+			shapes = append(shapes, s)
+		}
+	}
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("ags: no k-treelet shape has colorful occurrences")
+	}
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i] < shapes[j] })
+
+	ss := &ShapeSet{
+		shapes: shapes,
+		urns:   make(map[treelet.Treelet]*sample.ShapeUrn, len(shapes)),
+		rj:     make(map[treelet.Treelet]float64, len(shapes)),
+		sigma:  estimate.NewSigmaShapes(urn.K, cat),
+	}
+	for _, s := range shapes {
+		su, err := urn.NewShapeUrn(s)
+		if err != nil {
+			return nil, err
+		}
+		ss.urns[s] = su
+		ss.rj[s] = su.Total().Float64()
+	}
+
+	// Initial shape: the one with the most colorful occurrences
+	// (Section 4: "Initially, we choose the k-treelet T with the largest
+	// number of colorful occurrences").
+	ss.initial = shapes[0]
+	for _, s := range shapes {
+		if ss.rj[s] > ss.rj[ss.initial] {
+			ss.initial = s
+		}
+	}
+	return ss, nil
+}
+
+// Run executes AGS on the urn. The context is checked periodically in the
+// draw loop (sequentially) and at every epoch barrier (in parallel), so a
+// canceled query returns promptly with ctx.Err().
+func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 	if opts.Rng == nil {
 		return nil, fmt.Errorf("ags: Options.Rng is required")
 	}
@@ -204,41 +281,19 @@ func Run(urn *sample.Urn, opts Options) (*Result, error) {
 	if urn.Empty() {
 		return nil, fmt.Errorf("ags: urn is empty")
 	}
-	cat := urn.Cat
-	k := urn.K
-
-	// Shapes with at least one colorful occurrence, in deterministic order.
-	totals := urn.Tab.ShapeTotals(cat)
-	var shapes []treelet.Treelet
-	for _, s := range cat.UnrootedK {
-		if !totals[s].IsZero() {
-			shapes = append(shapes, s)
-		}
-	}
-	if len(shapes) == 0 {
-		return nil, fmt.Errorf("ags: no k-treelet shape has colorful occurrences")
-	}
-	sort.Slice(shapes, func(i, j int) bool { return shapes[i] < shapes[j] })
-
-	urns := make(map[treelet.Treelet]*sample.ShapeUrn, len(shapes))
-	rj := make(map[treelet.Treelet]float64, len(shapes))
-	for _, s := range shapes {
-		su, err := urn.NewShapeUrn(s)
-		if err != nil {
+	ss := opts.Shapes
+	if ss == nil {
+		var err error
+		if ss, err = PrepareShapes(urn); err != nil {
 			return nil, err
 		}
-		urns[s] = su
-		rj[s] = su.Total().Float64()
 	}
-
-	// Initial shape: the one with the most colorful occurrences
-	// (Section 4: "Initially, we choose the k-treelet T with the largest
-	// number of colorful occurrences").
-	cur := shapes[0]
-	for _, s := range shapes {
-		if rj[s] > rj[cur] {
-			cur = s
-		}
+	// Materialize draws through the caller's urn: CloneOnto shares the
+	// immutable per-shape alias state and keeps all mutable sampling state
+	// (neighbor buffers, canonicalization cache) on this run's urn.
+	urns := make(map[treelet.Treelet]*sample.ShapeUrn, len(ss.urns))
+	for s, su := range ss.urns {
+		urns[s] = su.CloneOnto(urn)
 	}
 
 	workers := opts.Workers
@@ -246,23 +301,27 @@ func Run(urn *sample.Urn, opts Options) (*Result, error) {
 		workers = 1
 	}
 	e := &engine{
-		shapes:  shapes,
-		rj:      rj,
-		sigma:   estimate.NewSigmaShapes(k, cat),
-		nj:      make(map[treelet.Treelet]int64, len(shapes)),
+		shapes:  ss.shapes,
+		rj:      ss.rj,
+		sigma:   ss.sigma,
+		nj:      make(map[treelet.Treelet]int64, len(ss.shapes)),
 		tallies: make(map[graphlet.Code]int64),
 		covered: make(map[graphlet.Code]bool),
 		ghat:    make(map[graphlet.Code]float64),
-		mass:    make(map[treelet.Treelet]float64, len(shapes)),
-		cur:     cur,
+		mass:    make(map[treelet.Treelet]float64, len(ss.shapes)),
+		cur:     ss.initial,
 		res:     &Result{Workers: workers},
 	}
 	e.res.Tallies = e.tallies
 
+	var err error
 	if workers == 1 {
-		runSequential(e, urns, opts)
+		err = runSequential(ctx, e, urns, opts)
 	} else {
-		runParallel(e, urn, urns, opts, workers)
+		err = runParallel(ctx, e, urn, urns, opts, workers)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	e.res.ColorfulEstimates = make(estimate.Counts, len(e.tallies))
@@ -282,11 +341,16 @@ func Run(urn *sample.Urn, opts Options) (*Result, error) {
 
 // runSequential is the classic one-draw-at-a-time loop: cover detection
 // after every sample, shape switches the moment a graphlet reaches c̄.
-func runSequential(e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options) {
+func runSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options) error {
 	// Covered graphlets re-drawn since their last ĝ snapshot; refreshed in
 	// bulk before the next switch decision.
 	stale := make(map[graphlet.Code]bool)
 	for step := 0; step < opts.Budget; step++ {
+		if step&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		e.nj[e.cur]++ // weight update precedes the draw (pseudocode lines 7–9)
 		code, _ := urns[e.cur].Sample(opts.Rng)
 		e.tallies[code]++
@@ -299,6 +363,7 @@ func runSequential(e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Op
 		}
 		e.res.Samples++
 	}
+	return nil
 }
 
 // refreshStale folds the pending ĝ updates into the covered mass in
@@ -320,7 +385,10 @@ func refreshStale(e *engine, stale map[graphlet.Code]bool) {
 }
 
 // runParallel is the epoch-based driver described in the package comment.
-func runParallel(e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.ShapeUrn, opts Options, workers int) {
+// Cancellation is detected at the epoch barrier (workers also bail out of
+// a batch early); a canceled run returns ctx.Err() and its partial state is
+// discarded by the caller.
+func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.ShapeUrn, opts Options, workers int) error {
 	batch := opts.EpochSize
 	if batch == 0 {
 		batch = DefaultEpochSize
@@ -364,6 +432,9 @@ func runParallel(e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.
 				su := st.urns[e.cur]
 				local := make(map[graphlet.Code]int64)
 				for i := 0; i < n; i++ {
+					if i&255 == 0 && ctx.Err() != nil {
+						return // partial batch; the barrier discards the epoch
+					}
 					code, _ := su.Sample(st.rng)
 					local[code]++
 				}
@@ -371,6 +442,9 @@ func runParallel(e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.
 			}(ws[w], w, n)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 
 		// Merge at the barrier: counters first (wi must see the whole
 		// epoch), then cover detection in sorted-code order so float
@@ -404,4 +478,5 @@ func runParallel(e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.
 		e.res.Epochs++
 		remaining -= epoch
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package ags
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +21,7 @@ func buildUrn(t *testing.T, g *graph.Graph, k int, seed int64) *sample.Urn {
 	t.Helper()
 	col := coloring.Uniform(g.NumNodes(), k, seed)
 	cat := treelet.NewCatalog(k)
-	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,10 +34,10 @@ func buildUrn(t *testing.T, g *graph.Graph, k int, seed int64) *sample.Urn {
 
 func TestOptionsValidation(t *testing.T) {
 	u := buildUrn(t, gen.ErdosRenyi(20, 50, 1), 4, 2)
-	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 1}); err == nil {
+	if _, err := Run(context.Background(), u, Options{Budget: 10, CoverThreshold: 1}); err == nil {
 		t.Error("missing rng must fail")
 	}
-	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
+	if _, err := Run(context.Background(), u, Options{Budget: 10, CoverThreshold: 0, Rng: rand.New(rand.NewSource(1))}); err == nil {
 		t.Error("zero threshold must fail")
 	}
 }
@@ -53,7 +54,7 @@ func TestAGSEstimatesMatchExact(t *testing.T) {
 	for r := 0; r < runs; r++ {
 		u := buildUrn(t, g, k, int64(300+r))
 		opts := Options{CoverThreshold: 300, Budget: 30000, Rng: rand.New(rand.NewSource(int64(400 + r)))}
-		res, err := Run(u, opts)
+		res, err := Run(context.Background(), u, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func TestAGSFindsRareGraphlets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(u2, Options{CoverThreshold: 500, Budget: budget, Rng: rand.New(rand.NewSource(13))})
+	res, err := Run(context.Background(), u2, Options{CoverThreshold: 500, Budget: budget, Rng: rand.New(rand.NewSource(13))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestAGSStarEstimateAccurate(t *testing.T) {
 	star := graphlet.Canonical(k, graphlet.FromEdges(k, [][2]int{{0, 1}, {0, 2}, {0, 3}}))
 	for r := 0; r < runs; r++ {
 		u := buildUrn(t, g, k, int64(500+r))
-		res, err := Run(u, Options{CoverThreshold: 200, Budget: 4000, Rng: rand.New(rand.NewSource(int64(600 + r)))})
+		res, err := Run(context.Background(), u, Options{CoverThreshold: 200, Budget: 4000, Rng: rand.New(rand.NewSource(int64(600 + r)))})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func TestAGSCoverageBookkeeping(t *testing.T) {
 	g := gen.ErdosRenyi(25, 70, 19)
 	k := 4
 	u := buildUrn(t, g, k, 23)
-	res, err := Run(u, Options{CoverThreshold: 50, Budget: 5000, Rng: rand.New(rand.NewSource(29))})
+	res, err := Run(context.Background(), u, Options{CoverThreshold: 50, Budget: 5000, Rng: rand.New(rand.NewSource(29))})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ags
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -13,10 +14,10 @@ import (
 func TestParallelOptionsValidation(t *testing.T) {
 	u := buildUrn(t, gen.ErdosRenyi(20, 50, 211), 4, 223)
 	rng := rand.New(rand.NewSource(227))
-	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 1, Rng: rng, Workers: -1}); err == nil {
+	if _, err := Run(context.Background(), u, Options{Budget: 10, CoverThreshold: 1, Rng: rng, Workers: -1}); err == nil {
 		t.Error("negative Workers must fail")
 	}
-	if _, err := Run(u, Options{Budget: 10, CoverThreshold: 1, Rng: rng, EpochSize: -5}); err == nil {
+	if _, err := Run(context.Background(), u, Options{Budget: 10, CoverThreshold: 1, Rng: rng, EpochSize: -5}); err == nil {
 		t.Error("negative EpochSize must fail")
 	}
 }
@@ -27,7 +28,7 @@ func TestParallelOptionsValidation(t *testing.T) {
 func TestParallelAGSRace(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 3, 101)
 	u := buildUrn(t, g, 4, 103)
-	res, err := Run(u, Options{
+	res, err := Run(context.Background(), u, Options{
 		CoverThreshold: 100, Budget: 8000, Workers: 4, EpochSize: 128,
 		Rng: rand.New(rand.NewSource(107)),
 	})
@@ -65,7 +66,7 @@ func TestParallelAGSDeterminism(t *testing.T) {
 	g := gen.ErdosRenyi(50, 150, 109)
 	run := func() *Result {
 		u := buildUrn(t, g, 4, 113)
-		res, err := Run(u, Options{
+		res, err := Run(context.Background(), u, Options{
 			CoverThreshold: 150, Budget: 10000, Workers: 4, EpochSize: 128,
 			Rng: rand.New(rand.NewSource(127)),
 		})
@@ -86,7 +87,7 @@ func TestSequentialWorkerAliases(t *testing.T) {
 	g := gen.ErdosRenyi(40, 120, 137)
 	run := func(workers int) *Result {
 		u := buildUrn(t, g, 4, 139)
-		res, err := Run(u, Options{
+		res, err := Run(context.Background(), u, Options{
 			CoverThreshold: 100, Budget: 4000, Workers: workers,
 			Rng: rand.New(rand.NewSource(149)),
 		})
@@ -116,14 +117,14 @@ func TestParallelAGSAccuracy(t *testing.T) {
 	parSum := make(estimate.Counts)
 	for r := 0; r < runs; r++ {
 		u := buildUrn(t, g, k, int64(700+r))
-		seq, err := Run(u, Options{
+		seq, err := Run(context.Background(), u, Options{
 			CoverThreshold: 300, Budget: 30000,
 			Rng: rand.New(rand.NewSource(int64(800 + r))),
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := Run(u, Options{
+		par, err := Run(context.Background(), u, Options{
 			CoverThreshold: 300, Budget: 30000, Workers: 4,
 			Rng: rand.New(rand.NewSource(int64(800 + r))),
 		})
@@ -154,7 +155,7 @@ func TestParallelAGSAccuracy(t *testing.T) {
 func TestParallelAGSAdaptivity(t *testing.T) {
 	g := gen.StarHeavy(1, 400, 25, 5)
 	u := buildUrn(t, g, 5, 7)
-	res, err := Run(u, Options{
+	res, err := Run(context.Background(), u, Options{
 		CoverThreshold: 500, Budget: 20000, Workers: 4,
 		Rng: rand.New(rand.NewSource(151)),
 	})

@@ -46,6 +46,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -134,8 +135,11 @@ type Stats struct {
 }
 
 // Run executes the build-up phase on g under col, filling the count table
-// for treelet sizes 1..k using the shapes pre-enumerated in cat.
-func Run(g *graph.Graph, col *coloring.Coloring, k int, cat *treelet.Catalog, opts Options) (*table.Table, *Stats, error) {
+// for treelet sizes 1..k using the shapes pre-enumerated in cat. The
+// context is checked between level passes and periodically inside the
+// vertex loop, so a canceled build returns promptly with ctx.Err() — a
+// deadline on the caller bounds the expensive half of the pipeline.
+func Run(ctx context.Context, g *graph.Graph, col *coloring.Coloring, k int, cat *treelet.Catalog, opts Options) (*table.Table, *Stats, error) {
 	if k < 1 || k > treelet.MaxK {
 		return nil, nil, fmt.Errorf("build: k=%d out of range [1,%d]", k, treelet.MaxK)
 	}
@@ -156,11 +160,17 @@ func Run(g *graph.Graph, col *coloring.Coloring, k int, cat *treelet.Catalog, op
 		tab:   table.New(n, k, opts.ZeroRooted),
 		stats: &Stats{LevelTime: make([]time.Duration, k+1)},
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if err := b.levelOne(); err != nil {
 		return nil, nil, err
 	}
 	for h := 2; h <= k; h++ {
-		if err := b.level(h); err != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		if err := b.level(ctx, h); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -224,7 +234,7 @@ func (b *builder) levelOne() error {
 // or (with spilling) a temp file whose contents become the arena after the
 // pass. Either way Table.SetLevel compacts the level into node order, so
 // the resulting table is byte-identical regardless of scheduling and sink.
-func (b *builder) level(h int) error {
+func (b *builder) level(ctx context.Context, h int) error {
 	lvl := time.Now()
 	n := b.g.NumNodes()
 	var (
@@ -245,13 +255,23 @@ func (b *builder) level(h int) error {
 	var (
 		ops      int64
 		buffered int64
-		firstErr atomic.Value
+		firstErr atomic.Pointer[error]
 	)
+	fail := func(err error) { firstErr.CompareAndSwap(nil, &err) }
 	parallelFor(n, b.opts.workers(), func(lo, hi int) {
 		w := newWorker(b, h)
 		for v := lo; v < hi; v++ {
 			if firstErr.Load() != nil {
 				return
+			}
+			// A canceled context must stop a long level pass mid-flight,
+			// not only at the next level barrier; checking every 256 nodes
+			// keeps the mutex in ctx.Err off the per-node path.
+			if (v-lo)&0xFF == 0 {
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
 			}
 			node := int32(v)
 			if b.topLevelSkip(h, node) {
@@ -266,7 +286,7 @@ func (b *builder) level(h int) error {
 			w.enc = table.AppendRecord(w.enc[:0], rec)
 			if spill != nil {
 				if err := spill.flush(node, w.enc); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					fail(err)
 					return
 				}
 				continue // memory released: the record lives on disk now
@@ -276,8 +296,8 @@ func (b *builder) level(h int) error {
 		atomic.AddInt64(&ops, w.ops)
 		atomic.AddInt64(&buffered, w.buffered)
 	})
-	if err, _ := firstErr.Load().(error); err != nil {
-		return err
+	if perr := firstErr.Load(); perr != nil {
+		return *perr
 	}
 	b.stats.CheckMergeOps += ops
 	b.stats.BufferedNodes += buffered

@@ -2,8 +2,10 @@ package build_test
 
 import (
 	"bytes"
+	"context"
 	"math/bits"
 	"testing"
+	"time"
 
 	"repro/internal/build"
 	"repro/internal/coloring"
@@ -180,7 +182,7 @@ func TestRunMatchesBruteForce(t *testing.T) {
 			cat := treelet.NewCatalog(k)
 			opts := build.DefaultOptions()
 			opts.ZeroRooted = false
-			tab, stats, err := build.Run(g, col, k, cat, opts)
+			tab, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 			if err != nil {
 				t.Fatalf("%s k=%d: %v", name, k, err)
 			}
@@ -215,7 +217,7 @@ func TestZeroRootingCountsEachCopyOnce(t *testing.T) {
 		k := 4
 		col := coloring.Uniform(g.NumNodes(), k, 7)
 		cat := treelet.NewCatalog(k)
-		tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+		tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -255,13 +257,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 	seq := build.DefaultOptions()
 	seq.Workers = 1
-	tabSeq, _, err := build.Run(g, col, k, cat, seq)
+	tabSeq, _, err := build.Run(context.Background(), g, col, k, cat, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	par := build.DefaultOptions()
 	par.Workers = 4
-	tabPar, _, err := build.Run(g, col, k, cat, par)
+	tabPar, _, err := build.Run(context.Background(), g, col, k, cat, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +287,7 @@ func TestSpillRoundTrip(t *testing.T) {
 	col := coloring.Uniform(g.NumNodes(), k, 19)
 	cat := treelet.NewCatalog(k)
 
-	mem, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	mem, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +295,7 @@ func TestSpillRoundTrip(t *testing.T) {
 	opts.Spill = true
 	opts.SpillDir = t.TempDir()
 	opts.Workers = 4
-	spilled, stats, err := build.Run(g, col, k, cat, opts)
+	spilled, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +328,7 @@ func TestBufferedMatchesUnbuffered(t *testing.T) {
 
 	plain := build.DefaultOptions()
 	plain.BufferThreshold = 1 << 30
-	tabPlain, statsPlain, err := build.Run(g, col, k, cat, plain)
+	tabPlain, statsPlain, err := build.Run(context.Background(), g, col, k, cat, plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -335,7 +337,7 @@ func TestBufferedMatchesUnbuffered(t *testing.T) {
 	}
 	forced := build.DefaultOptions()
 	forced.BufferThreshold = 1
-	tabBuf, statsBuf, err := build.Run(g, col, k, cat, forced)
+	tabBuf, statsBuf, err := build.Run(context.Background(), g, col, k, cat, forced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,31 +391,31 @@ func TestRunValidation(t *testing.T) {
 		run  func() error
 	}{
 		{"k too small", func() error {
-			_, _, err := build.Run(g, col, 0, cat, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, col, 0, cat, build.DefaultOptions())
 			return err
 		}},
 		{"k too large", func() error {
-			_, _, err := build.Run(g, col, treelet.MaxK+1, treelet.NewCatalog(treelet.MaxK), build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, col, treelet.MaxK+1, treelet.NewCatalog(treelet.MaxK), build.DefaultOptions())
 			return err
 		}},
 		{"coloring k mismatch", func() error {
-			_, _, err := build.Run(g, coloring.Uniform(g.NumNodes(), 4, 1), 3, cat, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, coloring.Uniform(g.NumNodes(), 4, 1), 3, cat, build.DefaultOptions())
 			return err
 		}},
 		{"coloring size mismatch", func() error {
-			_, _, err := build.Run(g, coloring.Uniform(3, 3, 1), 3, cat, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, coloring.Uniform(3, 3, 1), 3, cat, build.DefaultOptions())
 			return err
 		}},
 		{"catalog too small", func() error {
-			_, _, err := build.Run(g, coloring.Uniform(g.NumNodes(), 4, 1), 4, cat, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, coloring.Uniform(g.NumNodes(), 4, 1), 4, cat, build.DefaultOptions())
 			return err
 		}},
 		{"nil coloring", func() error {
-			_, _, err := build.Run(g, nil, 3, cat, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, nil, 3, cat, build.DefaultOptions())
 			return err
 		}},
 		{"nil catalog", func() error {
-			_, _, err := build.Run(g, col, 3, nil, build.DefaultOptions())
+			_, _, err := build.Run(context.Background(), g, col, 3, nil, build.DefaultOptions())
 			return err
 		}},
 	}
@@ -433,7 +435,44 @@ func TestSpillErrorPath(t *testing.T) {
 	cat := treelet.NewCatalog(k)
 	opts := build.DefaultOptions()
 	opts.SpillDir = "/nonexistent-dir-for-motivo-tests"
-	if _, _, err := build.Run(g, col, k, cat, opts); err == nil {
+	if _, _, err := build.Run(context.Background(), g, col, k, cat, opts); err == nil {
 		t.Fatal("expected error for unusable spill dir")
+	}
+}
+
+// TestRunCancellation: a canceled context stops the build both before it
+// starts and mid-flight inside a level pass, returning ctx.Err() promptly.
+func TestRunCancellation(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 47)
+	k := 5
+	col := coloring.Uniform(g.NumNodes(), k, 47)
+	cat := treelet.NewCatalog(k)
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := build.Run(pre, g, col, k, cat, build.DefaultOptions()); err != context.Canceled {
+		t.Errorf("pre-canceled: want context.Canceled, got %v", err)
+	}
+
+	// Mid-flight: cancel concurrently with the level passes; whether the
+	// vertex loop or a level barrier notices first, the error must be the
+	// context's.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := build.Run(ctx, g, col, k, cat, build.DefaultOptions())
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancelMid()
+	select {
+	case err := <-done:
+		// A tiny build can legitimately finish before the cancel lands;
+		// anything else must be context.Canceled.
+		if err != nil && err != context.Canceled {
+			t.Errorf("mid-flight: want nil or context.Canceled, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled build did not return")
 	}
 }

@@ -1,6 +1,7 @@
 package build_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/build"
@@ -18,7 +19,7 @@ func TestPackedTableBeatsDenseLayout(t *testing.T) {
 	k := 5
 	col := coloring.Uniform(g.NumNodes(), k, 1007)
 	cat := treelet.NewCatalog(k)
-	tab, stats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, stats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

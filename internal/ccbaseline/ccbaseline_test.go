@@ -1,6 +1,7 @@
 package ccbaseline
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -69,7 +70,7 @@ func TestCCTableMatchesMotivoTable(t *testing.T) {
 	}
 	opts := build.DefaultOptions()
 	opts.ZeroRooted = false
-	moTab, moStats, err := build.Run(g, col, k, cat, opts)
+	moTab, moStats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,12 +5,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
-	"repro/internal/ags"
 	"repro/internal/build"
 	"repro/internal/coloring"
 	"repro/internal/estimate"
@@ -131,6 +131,10 @@ type Result struct {
 	// BuildTime and SampleTime aggregate phase durations across colorings.
 	BuildTime  time.Duration
 	SampleTime time.Duration
+	// OpenTime is the table open + engine construction cost of a TablePath
+	// run (zero when the table was built in-memory): opening a persisted
+	// table is not a build, so it is reported separately from BuildTime.
+	OpenTime time.Duration
 	// BuildStats holds the per-coloring build statistics.
 	BuildStats []*build.Stats
 	// TableBytes is the compact count-table payload of the last coloring.
@@ -165,26 +169,32 @@ func colorFor(g *graph.Graph, cfg Config, run int) *coloring.Coloring {
 }
 
 // buildFor runs the build-up phase with the config's build options.
-func buildFor(g *graph.Graph, cfg Config, col *coloring.Coloring, cat *treelet.Catalog) (*table.Table, *build.Stats, error) {
+func buildFor(ctx context.Context, g *graph.Graph, cfg Config, col *coloring.Coloring, cat *treelet.Catalog) (*table.Table, *build.Stats, error) {
 	opts := build.DefaultOptions()
 	opts.Workers = cfg.Workers
 	opts.Spill = cfg.Spill
 	if cfg.BufferThreshold > 0 {
 		opts.BufferThreshold = cfg.BufferThreshold
 	}
-	return build.Run(g, col, cfg.K, cat, opts)
+	return build.Run(ctx, g, col, cfg.K, cat, opts)
 }
 
 // BuildTable runs the coloring and build-up phase for run 0 of cfg and
 // persists the table (arena + offset index + coloring) to path, so later
 // Count calls with Config.TablePath skip the build entirely.
 func BuildTable(g *graph.Graph, cfg Config, path string) (*build.Stats, int64, error) {
+	return BuildTableContext(context.Background(), g, cfg, path)
+}
+
+// BuildTableContext is BuildTable honoring a context: a canceled or
+// expired ctx stops the build-up phase promptly.
+func BuildTableContext(ctx context.Context, g *graph.Graph, cfg Config, path string) (*build.Stats, int64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, 0, err
 	}
 	cat := treelet.NewCatalog(cfg.K)
 	col := colorFor(g, cfg, 0)
-	tab, stats, err := buildFor(g, cfg, col, cat)
+	tab, stats, err := buildFor(ctx, g, cfg, col, cat)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -195,8 +205,35 @@ func BuildTable(g *graph.Graph, cfg Config, path string) (*build.Stats, int64, e
 	return stats, fileBytes, nil
 }
 
+// query maps the config's sampling knobs onto an engine query at seed —
+// the one translation shared by every mode, so the one-shot paths and a
+// long-lived Engine cannot drift apart.
+func (cfg Config) query(seed int64) Query {
+	return Query{
+		Strategy:        cfg.Strategy,
+		Samples:         cfg.SamplesPerColoring,
+		CoverThreshold:  cfg.CoverThreshold,
+		Seed:            seed,
+		SampleWorkers:   cfg.SampleWorkers,
+		BufferThreshold: cfg.BufferThreshold,
+	}
+}
+
 // Count runs the motivo pipeline on g.
 func Count(g *graph.Graph, cfg Config) (*Result, error) {
+	return CountContext(context.Background(), g, cfg)
+}
+
+// CountContext runs the motivo pipeline on g under ctx: both the build-up
+// phase and the sampling loops check the context periodically, so a
+// deadline or cancellation stops the run promptly.
+//
+// It is a thin open-query-close over Engine: TablePath mode opens an
+// engine from the file and serves one query through it; the in-memory mode
+// builds one engine per coloring. Either way the sampling code path is
+// Engine.Count, so a one-shot run is bit-identical to the same query
+// against a long-lived engine at the same seed.
+func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -216,9 +253,7 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 	if err := ValidateCoverThreshold(cover); err != nil {
 		return nil, err
 	}
-	cat := treelet.NewCatalog(cfg.K)
 	res := &Result{Counts: make(estimate.Counts)}
-	sig := estimate.NewSigma(cfg.K)
 
 	if cfg.TablePath != "" {
 		if cfg.Colorings != 1 {
@@ -227,107 +262,82 @@ func Count(g *graph.Graph, cfg Config) (*Result, error) {
 		if cfg.BiasedLambda > 0 {
 			return nil, fmt.Errorf("core: BiasedLambda has no effect with TablePath (the saved coloring is used); unset one")
 		}
-		openStart := time.Now()
-		tab, col, err := table.LoadFile(cfg.TablePath)
+		eng, err := Open(g, cfg.TablePath)
 		if err != nil {
 			return nil, err
 		}
-		if col == nil {
-			return nil, fmt.Errorf("core: table %s carries no coloring section; rebuild it with BuildTable", cfg.TablePath)
+		if eng.K() != cfg.K {
+			return nil, fmt.Errorf("core: table %s was built for k=%d, run wants k=%d", cfg.TablePath, eng.K(), cfg.K)
 		}
-		if tab.K != cfg.K {
-			return nil, fmt.Errorf("core: table %s was built for k=%d, run wants k=%d", cfg.TablePath, tab.K, cfg.K)
-		}
-		if tab.N != g.NumNodes() {
-			return nil, fmt.Errorf("core: table %s covers %d nodes, graph has %d", cfg.TablePath, tab.N, g.NumNodes())
-		}
-		res.BuildTime = time.Since(openStart) // table open, not a build
-		res.TableBytes = tab.Bytes()
-		if err := sampleRun(g, cfg, cat, sig, cover, tab, col, cfg.Seed, res); err != nil {
+		res.OpenTime = eng.OpenTime()
+		res.TableBytes = eng.TableBytes()
+		qres, err := eng.Count(ctx, cfg.query(cfg.Seed))
+		if err != nil {
 			return nil, err
 		}
-		res.Frequencies = estimate.Frequencies(res.Counts)
+		res.Counts = qres.Counts
+		res.Frequencies = qres.Frequencies
+		res.Samples = qres.Samples
+		res.Covered = qres.Covered
+		res.SampleTime = qres.SampleTime
 		return res, nil
 	}
 
+	cat := treelet.NewCatalog(cfg.K)
+	sig := estimate.NewSigma(cfg.K)
 	for run := 0; run < cfg.Colorings; run++ {
 		seed := cfg.Seed + int64(run)*7919
 		col := colorFor(g, cfg, run)
-		tab, stats, err := buildFor(g, cfg, col, cat)
+		tab, stats, err := buildFor(ctx, g, cfg, col, cat)
 		if err != nil {
 			return nil, err
 		}
 		res.BuildTime += stats.Duration
 		res.BuildStats = append(res.BuildStats, stats)
 		res.TableBytes = stats.TableBytes
-		if err := sampleRun(g, cfg, cat, sig, cover, tab, col, seed, res); err != nil {
+		eng, err := newEngine(g, tab, col, cat, sig)
+		if err != nil {
 			return nil, err
+		}
+		qres, err := eng.Count(ctx, cfg.query(seed))
+		if err != nil {
+			return nil, err
+		}
+		res.Samples += qres.Samples
+		res.Covered = qres.Covered
+		res.SampleTime += qres.SampleTime
+		for code, v := range qres.Counts {
+			res.Counts[code] += v / float64(cfg.Colorings)
 		}
 	}
 	res.Frequencies = estimate.Frequencies(res.Counts)
 	return res, nil
 }
 
-// sampleRun executes the sampling phase of one coloring over a built (or
-// loaded) table and accumulates the estimates into res. It is the single
-// code path behind both the in-memory and the persistent-table modes, so a
-// loaded table yields bit-identical estimates at the same seed.
-func sampleRun(g *graph.Graph, cfg Config, cat *treelet.Catalog, sig *estimate.Sigma, cover int, tab *table.Table, col *coloring.Coloring, seed int64, res *Result) error {
-	urn, err := sample.NewUrn(g, col, tab, cat)
-	if err != nil {
-		return err
-	}
-	if cfg.BufferThreshold > 0 {
-		urn.BufferThreshold = cfg.BufferThreshold
-	}
-	if urn.Empty() {
-		// An unlucky coloring of a tiny graph: contributes a zero
-		// estimate for every graphlet, which is what the estimator
-		// semantics prescribe.
-		return nil
-	}
-	rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
-	sampleStart := time.Now()
-	var est estimate.Counts
-	switch cfg.Strategy {
-	case Naive:
-		tallies := naiveTallies(urn, cfg.SamplesPerColoring, cfg.SampleWorkers, rng)
-		est = estimate.Naive(tallies, int64(cfg.SamplesPerColoring), urn.Total().Float64(), sig, col.PColorful)
-		res.Samples += cfg.SamplesPerColoring
-	case AGS:
-		out, err := ags.Run(urn, ags.Options{
-			CoverThreshold: cover,
-			Budget:         cfg.SamplesPerColoring,
-			Rng:            rng,
-			Workers:        cfg.SampleWorkers,
-		})
-		if err != nil {
-			return err
-		}
-		est = out.Estimates
-		res.Samples += out.Samples
-		res.Covered = out.Covered
-	default:
-		return fmt.Errorf("core: unknown strategy %d", cfg.Strategy)
-	}
-	res.SampleTime += time.Since(sampleStart)
-	for code, v := range est {
-		res.Counts[code] += v / float64(cfg.Colorings)
-	}
-	return nil
-}
-
 // naiveTallies draws `budget` samples, optionally in parallel over urn
 // clones (one clone and one derived rng per worker, so results are
-// deterministic for a fixed seed and worker count).
-func naiveTallies(urn *sample.Urn, budget, workers int, rng *rand.Rand) map[graphlet.Code]int64 {
+// deterministic for a fixed seed and worker count). The context is checked
+// every 1024 draws; on cancellation the partial tallies are discarded and
+// ctx.Err() returned.
+func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng *rand.Rand) (map[graphlet.Code]int64, error) {
+	if workers > budget {
+		// With more workers than samples the per-worker share rounds to
+		// zero, which used to leave workers 0..n-2 idle while the last one
+		// drew the whole budget; clamping gives every worker ≥ 1 draw.
+		workers = budget
+	}
 	tallies := make(map[graphlet.Code]int64)
 	if workers <= 1 {
 		for i := 0; i < budget; i++ {
+			if i&1023 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			code, _ := urn.Sample(rng)
 			tallies[code]++
 		}
-		return tallies
+		return tallies, nil
 	}
 	var (
 		mu sync.Mutex
@@ -347,6 +357,9 @@ func naiveTallies(urn *sample.Urn, budget, workers int, rng *rand.Rand) map[grap
 			local := make(map[graphlet.Code]int64)
 			r := rand.New(rand.NewSource(seed))
 			for i := 0; i < n; i++ {
+				if i&1023 == 0 && ctx.Err() != nil {
+					return // partial worker tallies are discarded below
+				}
 				code, _ := clone.Sample(r)
 				local[code]++
 			}
@@ -358,5 +371,8 @@ func naiveTallies(urn *sample.Urn, budget, workers int, rng *rand.Rand) map[grap
 		}(n, seed)
 	}
 	wg.Wait()
-	return tallies
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return tallies, nil
 }

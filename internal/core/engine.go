@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ags"
+	"repro/internal/coloring"
+	"repro/internal/estimate"
+	"repro/internal/graph"
+	"repro/internal/sample"
+	"repro/internal/table"
+	"repro/internal/treelet"
+)
+
+// Engine is the long-lived serving half of the build-once / query-many
+// workflow (paper, Section 3: the count table is expensive to build, but
+// samples are cheap and independent). One Engine validates its table and
+// builds the master sampling urn exactly once; every query then takes an
+// O(1) Urn.Clone plus its own deterministic RNG stream, so a query at
+// seed s is bit-identical to a one-shot Count at seed s while skipping the
+// whole table open + urn construction cost the one-shot path pays every
+// time.
+//
+// All fields are immutable after construction except the lazily-prepared
+// AGS shape set (guarded by a sync.Once) and the σ caches (internally
+// locked), so an Engine serves any number of goroutines concurrently.
+type Engine struct {
+	g   *graph.Graph
+	tab *table.Table
+	col *coloring.Coloring
+	cat *treelet.Catalog
+	sig *estimate.Sigma
+	urn *sample.Urn
+
+	// The AGS sample(T) machinery costs a pass over the size-k records per
+	// shape; it is prepared on the first AGS query and shared (read-only)
+	// by every later one.
+	shapeOnce sync.Once
+	shapeSet  *ags.ShapeSet
+	shapeErr  error
+
+	openTime time.Duration
+}
+
+// Open loads a count table persisted by BuildTable (or `motivo build -o`)
+// and prepares an Engine over it: table validation, coloring recovery and
+// master-urn construction all happen here, once, instead of on every query.
+func Open(g *graph.Graph, tablePath string) (*Engine, error) {
+	start := time.Now()
+	tab, col, err := table.LoadFile(tablePath)
+	if err != nil {
+		return nil, err
+	}
+	if col == nil {
+		return nil, fmt.Errorf("core: table %s carries no coloring section; rebuild it with BuildTable", tablePath)
+	}
+	eng, err := buildEngine(g, tab, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: table %s: %w", tablePath, err)
+	}
+	eng.openTime = time.Since(start)
+	return eng, nil
+}
+
+// NewEngine prepares an Engine over an already-built table — the in-memory
+// construction path shared by Count and by callers that run build.Run
+// themselves.
+func NewEngine(g *graph.Graph, tab *table.Table, col *coloring.Coloring) (*Engine, error) {
+	eng, err := buildEngine(g, tab, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return eng, nil
+}
+
+// buildEngine validates and constructs without the "core:" prefix so each
+// exported entry point adds its own context exactly once.
+func buildEngine(g *graph.Graph, tab *table.Table, col *coloring.Coloring) (*Engine, error) {
+	if tab == nil || tab.K < 2 || tab.K > treelet.MaxK {
+		return nil, fmt.Errorf("engine needs a table with k in [2,%d]", treelet.MaxK)
+	}
+	cat := treelet.NewCatalog(tab.K)
+	return newEngine(g, tab, col, cat, estimate.NewSigma(tab.K))
+}
+
+// newEngine is buildEngine with the catalog and σ cache supplied by the
+// caller, so Count can share one of each across its γ colorings. Errors
+// carry no "core:" prefix; exported callers add it.
+func newEngine(g *graph.Graph, tab *table.Table, col *coloring.Coloring, cat *treelet.Catalog, sig *estimate.Sigma) (*Engine, error) {
+	if col == nil || col.K != tab.K {
+		return nil, fmt.Errorf("coloring has %d colors, table wants %d", colorK(col), tab.K)
+	}
+	if tab.N != g.NumNodes() {
+		return nil, fmt.Errorf("table covers %d nodes, graph has %d", tab.N, g.NumNodes())
+	}
+	urn, err := sample.NewUrn(g, col, tab, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, tab: tab, col: col, cat: cat, sig: sig, urn: urn}, nil
+}
+
+func colorK(c *coloring.Coloring) int {
+	if c == nil {
+		return 0
+	}
+	return c.K
+}
+
+// K returns the graphlet size the engine's table was built for.
+func (e *Engine) K() int { return e.tab.K }
+
+// Graph returns the host graph the engine serves.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// OpenTime reports how long Open spent loading and validating the table
+// and building the master urn (zero for engines built via NewEngine).
+func (e *Engine) OpenTime() time.Duration { return e.openTime }
+
+// TableBytes is the packed in-memory count-table payload the engine holds.
+func (e *Engine) TableBytes() int64 { return e.tab.Bytes() }
+
+// shapes prepares the AGS per-shape urns on first use.
+func (e *Engine) shapes() (*ags.ShapeSet, error) {
+	e.shapeOnce.Do(func() {
+		e.shapeSet, e.shapeErr = ags.PrepareShapes(e.urn)
+	})
+	return e.shapeSet, e.shapeErr
+}
+
+// Query parameterizes one count query against an Engine. The zero value of
+// every field except Samples is usable: naive strategy, seed 0, sequential
+// sampling, the paper's cover threshold.
+type Query struct {
+	// Strategy selects naive sampling or AGS.
+	Strategy Strategy
+	// Samples is the sampling budget (≥ 1).
+	Samples int
+	// CoverThreshold is AGS's c̄ (0 means the paper's default of 1000).
+	CoverThreshold int
+	// Seed makes the query reproducible: an Engine query at seed s is
+	// bit-identical to a one-shot Count at seed s over the same table.
+	Seed int64
+	// SampleWorkers parallelizes this query across urn clones (≤ 1 =
+	// sequential), exactly as Config.SampleWorkers does.
+	SampleWorkers int
+	// BufferThreshold overrides the neighbor-buffering degree threshold
+	// (0 keeps the urn's default).
+	BufferThreshold int
+}
+
+// QueryResult is the outcome of one Engine query.
+type QueryResult struct {
+	// Counts estimates the number of induced occurrences per graphlet;
+	// Frequencies is Counts normalized to sum to 1.
+	Counts      estimate.Counts
+	Frequencies estimate.Counts
+	// Samples is the number of draws made; Covered the number of
+	// AGS-covered graphlets (0 under the naive strategy).
+	Samples int
+	Covered int
+	// SampleTime is the wall-clock sampling duration of this query.
+	SampleTime time.Duration
+}
+
+// Count serves one query: clone the master urn, derive the query's RNG
+// stream from its seed, sample, estimate. It honors ctx — cancellation or
+// a deadline stops the sampling loops promptly — and is safe to call from
+// any number of goroutines concurrently.
+func (e *Engine) Count(ctx context.Context, q Query) (*QueryResult, error) {
+	if q.Samples < 1 {
+		return nil, fmt.Errorf("core: Query.Samples must be ≥ 1, got %d", q.Samples)
+	}
+	if err := ValidateSampleWorkers(q.SampleWorkers); err != nil {
+		return nil, err
+	}
+	cover := q.CoverThreshold
+	if cover == 0 {
+		cover = 1000
+	}
+	if err := ValidateCoverThreshold(cover); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &QueryResult{Counts: make(estimate.Counts)}
+	if e.urn.Empty() {
+		// An unlucky coloring of a tiny graph: every graphlet estimates to
+		// zero, which is what the estimator semantics prescribe.
+		res.Frequencies = estimate.Frequencies(res.Counts)
+		return res, nil
+	}
+	urn := e.urn.Clone()
+	if q.BufferThreshold > 0 {
+		urn.BufferThreshold = q.BufferThreshold
+	}
+	// Prepare the (lazily built, engine-wide) AGS shape urns before the
+	// sampling clock starts: the first AGS query must not report one-time
+	// engine setup as its own sampling time.
+	var ss *ags.ShapeSet
+	if q.Strategy == AGS {
+		var err error
+		if ss, err = e.shapes(); err != nil {
+			return nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(q.Seed ^ 0x5DEECE66D))
+	start := time.Now()
+	switch q.Strategy {
+	case Naive:
+		tallies, err := naiveTallies(ctx, urn, q.Samples, q.SampleWorkers, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = estimate.Naive(tallies, int64(q.Samples), urn.Total().Float64(), e.sig, e.col.PColorful)
+		res.Samples = q.Samples
+	case AGS:
+		out, err := ags.Run(ctx, urn, ags.Options{
+			CoverThreshold: cover,
+			Budget:         q.Samples,
+			Rng:            rng,
+			Workers:        q.SampleWorkers,
+			Shapes:         ss,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Counts = out.Estimates
+		res.Samples = out.Samples
+		res.Covered = out.Covered
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %d", q.Strategy)
+	}
+	res.SampleTime = time.Since(start)
+	res.Frequencies = estimate.Frequencies(res.Counts)
+	return res, nil
+}

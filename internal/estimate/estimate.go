@@ -7,6 +7,7 @@ package estimate
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/graphlet"
 	"repro/internal/treelet"
@@ -18,8 +19,12 @@ type Counts map[graphlet.Code]float64
 
 // Sigma memoizes spanning-tree counts σ_i per canonical graphlet code
 // (computed via Kirchhoff; motivo likewise caches σ to disk, Section 3.3).
+// It is safe for concurrent use: a long-lived query engine shares one σ
+// cache across all in-flight queries, and σ is a pure function of the code
+// so cache hits and misses return identical values.
 type Sigma struct {
 	K     int
+	mu    sync.Mutex
 	cache map[graphlet.Code]int64
 }
 
@@ -30,19 +35,27 @@ func NewSigma(k int) *Sigma {
 
 // Of returns σ_i for the graphlet.
 func (s *Sigma) Of(c graphlet.Code) int64 {
+	s.mu.Lock()
 	if v, ok := s.cache[c]; ok {
+		s.mu.Unlock()
 		return v
 	}
+	s.mu.Unlock()
 	v := graphlet.SpanningTreeCount(s.K, c)
+	s.mu.Lock()
 	s.cache[c] = v
+	s.mu.Unlock()
 	return v
 }
 
 // SigmaShapes memoizes σ_ij tables (spanning trees of H_i by unrooted
-// treelet shape T_j) per canonical graphlet code, for AGS.
+// treelet shape T_j) per canonical graphlet code, for AGS. Like Sigma it is
+// safe for concurrent use, so one cache can back every query of an engine;
+// the returned rows are treated as immutable by all callers.
 type SigmaShapes struct {
 	K     int
 	Cat   *treelet.Catalog
+	mu    sync.Mutex
 	cache map[graphlet.Code]map[treelet.Treelet]int64
 }
 
@@ -51,13 +64,18 @@ func NewSigmaShapes(k int, cat *treelet.Catalog) *SigmaShapes {
 	return &SigmaShapes{K: k, Cat: cat, cache: make(map[graphlet.Code]map[treelet.Treelet]int64)}
 }
 
-// Of returns the σ_ij row of the graphlet.
+// Of returns the σ_ij row of the graphlet. Callers must not mutate the row.
 func (s *SigmaShapes) Of(c graphlet.Code) map[treelet.Treelet]int64 {
+	s.mu.Lock()
 	if v, ok := s.cache[c]; ok {
+		s.mu.Unlock()
 		return v
 	}
+	s.mu.Unlock()
 	v := graphlet.SpanningTreeShapes(s.K, c, s.Cat)
+	s.mu.Lock()
 	s.cache[c] = v
+	s.mu.Unlock()
 	return v
 }
 

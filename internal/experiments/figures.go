@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -26,7 +27,7 @@ func buildOnce(g *graph.Graph, k int, seed int64, mutate func(*build.Options)) (
 	if mutate != nil {
 		mutate(&opts)
 	}
-	tab, stats, err := build.Run(g, col, k, cat, opts)
+	tab, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -66,7 +67,7 @@ func Fig2CheckMerge(w io.Writer) {
 		opts := build.DefaultOptions()
 		opts.ZeroRooted = false // match CC's work exactly
 		opts.Workers = 1
-		_, moStats, err := build.Run(g, col, r.k, cat, opts)
+		_, moStats, err := build.Run(context.Background(), g, col, r.k, cat, opts)
 		if err != nil {
 			panic(err)
 		}
@@ -106,7 +107,7 @@ func Fig3BuildMemory(w io.Writer) {
 		opts := build.DefaultOptions()
 		opts.ZeroRooted = false
 		opts.Spill = true
-		_, moStats, err := build.Run(g, col, r.k, cat, opts)
+		_, moStats, err := build.Run(context.Background(), g, col, r.k, cat, opts)
 		if err != nil {
 			panic(err)
 		}
@@ -139,11 +140,11 @@ func Fig4ZeroRooting(w io.Writer) {
 		cat := treelet.NewCatalog(r.k)
 		optsOff := build.DefaultOptions()
 		optsOff.ZeroRooted = false
-		_, off, err := build.Run(g, col, r.k, cat, optsOff)
+		_, off, err := build.Run(context.Background(), g, col, r.k, cat, optsOff)
 		if err != nil {
 			panic(err)
 		}
-		_, on, err := build.Run(g, col, r.k, cat, build.DefaultOptions())
+		_, on, err := build.Run(context.Background(), g, col, r.k, cat, build.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -176,7 +177,7 @@ func Fig5NeighborBuffering(w io.Writer) {
 		g := d.Gen()
 		col := coloring.Uniform(g.NumNodes(), r.k, 313)
 		cat := treelet.NewCatalog(r.k)
-		tab, _, err := build.Run(g, col, r.k, cat, build.DefaultOptions())
+		tab, _, err := build.Run(context.Background(), g, col, r.k, cat, build.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -246,7 +247,7 @@ func biasedRunErrors(g *graph.Graph, k int, lambda float64, truth estimate.Count
 		} else {
 			col = coloring.Uniform(g.NumNodes(), k, int64(331+r))
 		}
-		tab, stats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+		tab, stats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -333,7 +334,7 @@ var SampleWorkers int
 func agsRun(g *graph.Graph, k int, seed int64, budget, cover, workers int) (*ags.Result, *coloring.Coloring) {
 	col := coloring.Uniform(g.NumNodes(), k, seed)
 	cat := treelet.NewCatalog(k)
-	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		panic(err)
 	}
@@ -341,7 +342,7 @@ func agsRun(g *graph.Graph, k int, seed int64, budget, cover, workers int) (*ags
 	if err != nil {
 		panic(err)
 	}
-	out, err := ags.Run(urn, ags.Options{
+	out, err := ags.Run(context.Background(), urn, ags.Options{
 		CoverThreshold: cover, Budget: budget,
 		Rng:     rand.New(rand.NewSource(seed ^ 0xABCD)),
 		Workers: workers,
@@ -355,7 +356,7 @@ func agsRun(g *graph.Graph, k int, seed int64, budget, cover, workers int) (*ags
 func naiveRun(g *graph.Graph, k int, seed int64, budget int) (estimate.Counts, map[graphlet.Code]int64) {
 	col := coloring.Uniform(g.NumNodes(), k, seed)
 	cat := treelet.NewCatalog(k)
-	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -49,7 +50,7 @@ func TableBuildSpeedup(w io.Writer) {
 			col := coloring.Uniform(g.NumNodes(), k, 701)
 			cat := treelet.NewCatalog(k)
 			ccTime, ok := timedCC(g, col, k)
-			_, moStats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+			_, moStats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 			if err != nil {
 				panic(err)
 			}
@@ -104,7 +105,7 @@ func TableSize(w io.Writer) {
 			if err != nil {
 				panic(err)
 			}
-			_, moStats, err := build.Run(g, col, k, cat, build.DefaultOptions())
+			_, moStats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 			if err != nil {
 				panic(err)
 			}
@@ -150,7 +151,7 @@ func TableSamplingSpeed(w io.Writer) {
 		}
 		ccRate := S / time.Since(start).Seconds()
 
-		moTab, _, err := build.Run(g, col, r.k, cat, build.DefaultOptions())
+		moTab, _, err := build.Run(context.Background(), g, col, r.k, cat, build.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}
@@ -222,7 +223,7 @@ func LollipopLowerBound(w io.Writer) {
 	cat := treelet.NewCatalog(k)
 	for seed := int64(733); ; seed++ {
 		col := coloring.Uniform(g.NumNodes(), k, seed)
-		tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+		tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 		if err != nil {
 			panic(err)
 		}

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ func buildUrn(t *testing.T, g *graph.Graph, k int, seed int64) *Urn {
 	t.Helper()
 	col := coloring.Uniform(g.NumNodes(), k, seed)
 	cat := treelet.NewCatalog(k)
-	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestDeterministicSingleGraphlet(t *testing.T) {
 		k := 5
 		col := &coloring.Coloring{K: k, Colors: []uint8{0, 1, 2, 3, 4}, PColorful: 1}
 		cat := treelet.NewCatalog(k)
-		tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+		tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -237,11 +238,11 @@ func TestUrnTotalZeroRootingCorrection(t *testing.T) {
 	cat := treelet.NewCatalog(k)
 	optsN := build.DefaultOptions()
 	optsN.ZeroRooted = false
-	tabN, _, err := build.Run(g, col, k, cat, optsN)
+	tabN, _, err := build.Run(context.Background(), g, col, k, cat, optsN)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tabZ, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tabZ, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestEmptyUrn(t *testing.T) {
 	k := 3
 	col := coloring.Uniform(2, k, 61)
 	cat := treelet.NewCatalog(k)
-	tab, _, err := build.Run(g, col, k, cat, build.DefaultOptions())
+	tab, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

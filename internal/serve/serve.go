@@ -1,0 +1,245 @@
+// Package serve exposes a core.Engine over HTTP — the serving layer of the
+// build-once / query-many workflow. One long-lived engine (table opened and
+// master urn built once, at startup) answers JSON count queries with
+// per-request strategy, budget and seed; concurrent requests are race-safe
+// because each one samples from its own urn clone, and a client disconnect
+// cancels the request's sampling loop through the request context.
+//
+// Endpoints:
+//
+//	POST /count   {"strategy":"ags","samples":50000,"seed":7,"top":10}
+//	GET  /stats   engine + traffic statistics (open time, queries served, …)
+//	GET  /healthz liveness probe
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	motivo "repro"
+	"repro/internal/core"
+	"repro/internal/graphlet"
+)
+
+// Server is an http.Handler serving count queries from one Engine.
+type Server struct {
+	eng     *core.Engine
+	mux     *http.ServeMux
+	started time.Time
+
+	queries atomic.Int64 // successfully served /count requests
+	samples atomic.Int64 // total samples drawn across them
+}
+
+// New wraps an engine into an HTTP handler.
+func New(eng *core.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("/count", s.handleCount)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CountRequest is the JSON body of POST /count. Every field is optional:
+// the zero value runs 100k naive samples at seed 1, the defaults of the
+// library's Query.
+type CountRequest struct {
+	// Strategy is "naive" (default) or "ags".
+	Strategy string `json:"strategy"`
+	// Samples is the sampling budget. Default 100000.
+	Samples int `json:"samples"`
+	// Seed makes the query reproducible. Default 1.
+	Seed int64 `json:"seed"`
+	// CoverThreshold is AGS's c̄. Default 1000.
+	CoverThreshold int `json:"coverThreshold"`
+	// SampleWorkers parallelizes the query across urn clones.
+	SampleWorkers int `json:"sampleWorkers"`
+	// Top truncates the response to the N largest estimates (0 = all).
+	Top int `json:"top"`
+}
+
+// CountEstimate is one graphlet's estimate in a CountResponse.
+type CountEstimate struct {
+	// Code is the canonical graphlet code; Description a human-readable
+	// rendering ("5-clique", "4-star", …).
+	Code        string  `json:"code"`
+	Description string  `json:"description"`
+	Count       float64 `json:"count"`
+	Frequency   float64 `json:"frequency"`
+}
+
+// CountResponse is the JSON body answering POST /count.
+type CountResponse struct {
+	K            int             `json:"k"`
+	Strategy     string          `json:"strategy"`
+	Samples      int             `json:"samples"`
+	Covered      int             `json:"covered"`
+	SampleTimeMs float64         `json:"sampleTimeMs"`
+	Counts       []CountEstimate `json:"counts"`
+}
+
+// Stats is the JSON body answering GET /stats.
+type Stats struct {
+	K          int   `json:"k"`
+	Nodes      int   `json:"nodes"`
+	Edges      int64 `json:"edges"`
+	TableBytes int64 `json:"tableBytes"`
+	// OpenMs is the one-time table open + urn construction cost the engine
+	// amortizes over every query it serves.
+	OpenMs       float64 `json:"openMs"`
+	UptimeSec    float64 `json:"uptimeSec"`
+	Queries      int64   `json:"queries"`
+	TotalSamples int64   `json:"totalSamples"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a JSON query to /count"})
+		return
+	}
+	var req CountRequest
+	// Queries are a handful of scalar fields; a megabyte bounds any honest
+	// request and stops hostile bodies from buffering into server memory.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		// io.EOF is an empty body: every field is optional, so that is
+		// simply the all-defaults query.
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	strategy := core.Naive
+	if req.Strategy != "" {
+		var err error
+		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+	}
+	if req.Samples == 0 {
+		req.Samples = 100000
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	// Validate the query shape here so client mistakes answer 400; any
+	// error the engine itself returns past this point is a server fault.
+	if req.Samples < 1 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("samples must be ≥ 1, got %d", req.Samples)})
+		return
+	}
+	if err := core.ValidateSampleWorkers(req.SampleWorkers); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	if req.CoverThreshold != 0 {
+		if err := core.ValidateCoverThreshold(req.CoverThreshold); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+	}
+	qres, err := s.eng.Count(r.Context(), core.Query{
+		Strategy:       strategy,
+		Samples:        req.Samples,
+		CoverThreshold: req.CoverThreshold,
+		Seed:           req.Seed,
+		SampleWorkers:  req.SampleWorkers,
+	})
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			// The client is gone; there is nobody to answer.
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	s.samples.Add(int64(qres.Samples))
+	writeJSON(w, http.StatusOK, s.countResponse(strategy, req.Top, qres))
+}
+
+// countResponse renders a query result with estimates in deterministic
+// largest-first order. Sorting and truncation run on the raw codes first;
+// the Describe/format work happens only for the entries actually served.
+func (s *Server) countResponse(strategy core.Strategy, top int, qres *core.QueryResult) *CountResponse {
+	k := s.eng.K()
+	type rawEstimate struct {
+		code  graphlet.Code
+		count float64
+	}
+	raw := make([]rawEstimate, 0, len(qres.Counts))
+	for code, c := range qres.Counts {
+		raw = append(raw, rawEstimate{code, c})
+	}
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].count != raw[j].count {
+			return raw[i].count > raw[j].count
+		}
+		return raw[i].code.Less(raw[j].code)
+	})
+	if top > 0 && top < len(raw) {
+		raw = raw[:top]
+	}
+	resp := &CountResponse{
+		K:            k,
+		Strategy:     strategy.String(),
+		Samples:      qres.Samples,
+		Covered:      qres.Covered,
+		SampleTimeMs: float64(qres.SampleTime.Microseconds()) / 1000,
+		Counts:       make([]CountEstimate, 0, len(raw)),
+	}
+	for _, e := range raw {
+		resp.Counts = append(resp.Counts, CountEstimate{
+			Code:        e.code.String(),
+			Description: motivo.Describe(k, e.code),
+			Count:       e.count,
+			Frequency:   qres.Frequencies[e.code],
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET /stats"})
+		return
+	}
+	g := s.eng.Graph()
+	writeJSON(w, http.StatusOK, Stats{
+		K:            s.eng.K(),
+		Nodes:        g.NumNodes(),
+		Edges:        g.NumEdges(),
+		TableBytes:   s.eng.TableBytes(),
+		OpenMs:       float64(s.eng.OpenTime().Microseconds()) / 1000,
+		UptimeSec:    time.Since(s.started).Seconds(),
+		Queries:      s.queries.Load(),
+		TotalSamples: s.samples.Load(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func testServer(t *testing.T) (*Server, *graph.Graph, string) {
+	t.Helper()
+	g := gen.ErdosRenyi(70, 210, 11)
+	path := t.TempDir() + "/serve.tbl"
+	if _, _, err := core.BuildTable(g, core.Config{K: 4, Seed: 13}, path); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.Open(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng), g, path
+}
+
+func doJSON(t *testing.T, srv *Server, method, target, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if out != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON response: %v\n%s", method, target, err, w.Body.String())
+		}
+	}
+	return w
+}
+
+// TestCountEndpoint serves naive and AGS queries through the handler and
+// asserts the JSON estimates equal a one-shot Count at the same seed — the
+// HTTP layer must not perturb the engine's bit-identical results.
+func TestCountEndpoint(t *testing.T) {
+	srv, g, path := testServer(t)
+	for _, tc := range []struct {
+		body  string
+		strat core.Strategy
+	}{
+		{`{"strategy":"naive","samples":4000,"seed":17}`, core.Naive},
+		{`{"strategy":"ags","samples":4000,"seed":17,"coverThreshold":200,"sampleWorkers":2}`, core.AGS},
+	} {
+		var resp CountResponse
+		w := doJSON(t, srv, http.MethodPost, "/count", tc.body, &resp)
+		if w.Code != http.StatusOK {
+			t.Fatalf("POST /count = %d: %s", w.Code, w.Body.String())
+		}
+		cfg := core.Config{
+			K: 4, Colorings: 1, SamplesPerColoring: 4000,
+			Strategy: tc.strat, CoverThreshold: 200, Seed: 17,
+			TablePath: path,
+		}
+		if tc.strat == core.AGS {
+			cfg.SampleWorkers = 2
+		}
+		want, err := core.Count(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.K != 4 || resp.Strategy != tc.strat.String() {
+			t.Errorf("resp header: k=%d strategy=%q", resp.K, resp.Strategy)
+		}
+		if len(resp.Counts) != len(want.Counts) {
+			t.Fatalf("%v: %d estimates served, one-shot has %d", tc.strat, len(resp.Counts), len(want.Counts))
+		}
+		got := make(map[string]float64, len(resp.Counts))
+		for _, e := range resp.Counts {
+			got[e.Code] = e.Count
+		}
+		for code, v := range want.Counts {
+			if got[code.String()] != v {
+				t.Errorf("%v: estimate for %v differs: served %v, one-shot %v",
+					tc.strat, code, got[code.String()], v)
+			}
+		}
+	}
+}
+
+// TestCountEndpointTop asserts the top-N truncation keeps the largest
+// estimates in order.
+func TestCountEndpointTop(t *testing.T) {
+	srv, _, _ := testServer(t)
+	var resp CountResponse
+	w := doJSON(t, srv, http.MethodPost, "/count", `{"samples":3000,"seed":5,"top":2}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST /count = %d", w.Code)
+	}
+	if len(resp.Counts) != 2 {
+		t.Fatalf("top=2 served %d estimates", len(resp.Counts))
+	}
+	if resp.Counts[0].Count < resp.Counts[1].Count {
+		t.Error("estimates not sorted largest-first")
+	}
+	if resp.Counts[0].Description == "" {
+		t.Error("estimate description empty")
+	}
+}
+
+// TestCountEndpointEmptyBody: every request field is optional, so an empty
+// body runs the all-defaults query instead of failing on io.EOF.
+func TestCountEndpointEmptyBody(t *testing.T) {
+	srv, _, _ := testServer(t)
+	var resp CountResponse
+	w := doJSON(t, srv, http.MethodPost, "/count", "", &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("empty-body POST /count = %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Samples != 100000 || resp.Strategy != "naive" {
+		t.Errorf("defaults not applied: samples=%d strategy=%q", resp.Samples, resp.Strategy)
+	}
+}
+
+// TestCountEndpointErrors exercises the HTTP error mapping.
+func TestCountEndpointErrors(t *testing.T) {
+	srv, _, _ := testServer(t)
+	cases := []struct {
+		method, body string
+		want         int
+	}{
+		{http.MethodGet, "", http.StatusMethodNotAllowed},
+		{http.MethodPost, "{not json", http.StatusBadRequest},
+		{http.MethodPost, `{"strategy":"exhaustive"}`, http.StatusBadRequest},
+		{http.MethodPost, `{"samples":-5}`, http.StatusBadRequest},
+		{http.MethodPost, `{"sampleWorkers":-1}`, http.StatusBadRequest},
+		{http.MethodPost, `{"unknownField":1}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		w := doJSON(t, srv, tc.method, "/count", tc.body, nil)
+		if w.Code != tc.want {
+			t.Errorf("%s /count %q = %d, want %d", tc.method, tc.body, w.Code, tc.want)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s /count %q: error body not JSON: %s", tc.method, tc.body, w.Body.String())
+		}
+	}
+}
+
+// TestStatsAndHealth asserts the stats endpoint tracks traffic and reports
+// the engine's amortized open cost.
+func TestStatsAndHealth(t *testing.T) {
+	srv, g, _ := testServer(t)
+	w := doJSON(t, srv, http.MethodGet, "/healthz", "", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", w.Code)
+	}
+
+	if w := doJSON(t, srv, http.MethodPost, "/count", `{"samples":2000,"seed":3}`, nil); w.Code != http.StatusOK {
+		t.Fatalf("POST /count = %d", w.Code)
+	}
+	var st Stats
+	if w := doJSON(t, srv, http.MethodGet, "/stats", "", &st); w.Code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", w.Code)
+	}
+	if st.K != 4 || st.Nodes != g.NumNodes() || st.Edges != g.NumEdges() {
+		t.Errorf("stats shape: %+v", st)
+	}
+	if st.Queries != 1 || st.TotalSamples != 2000 {
+		t.Errorf("traffic counters: queries=%d samples=%d", st.Queries, st.TotalSamples)
+	}
+	if st.OpenMs <= 0 || st.TableBytes <= 0 {
+		t.Errorf("engine stats: openMs=%v tableBytes=%d", st.OpenMs, st.TableBytes)
+	}
+	if w := doJSON(t, srv, http.MethodPost, "/stats", "", nil); w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats = %d, want 405", w.Code)
+	}
+}

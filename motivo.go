@@ -23,6 +23,7 @@
 package motivo
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -137,7 +138,7 @@ type Estimate struct {
 	Frequency float64
 }
 
-// Result is the outcome of a Count run.
+// Result is the outcome of a Count run or an Engine query.
 type Result struct {
 	// K is the graphlet size counted.
 	K int
@@ -148,8 +149,16 @@ type Result struct {
 	// BuildTime and SampleTime are the aggregate phase durations.
 	BuildTime  time.Duration
 	SampleTime time.Duration
+	// OpenTime is the table open + engine construction cost of a TablePath
+	// run — reported separately because opening a persisted table is not a
+	// build. Zero for in-memory runs and for Engine queries (an engine
+	// pays its open cost once; see Engine.OpenTime).
+	OpenTime time.Duration
 	// TableBytes is the compact count-table payload size.
 	TableBytes int64
+	// Covered is the number of AGS-covered graphlets (0 under Naive). In
+	// a multi-coloring run it reports the last coloring only, not a sum.
+	Covered int
 }
 
 // Top returns the n graphlets with the largest estimated counts (all of
@@ -175,6 +184,13 @@ func (r *Result) Top(n int) []Estimate {
 // Count estimates the induced occurrences of every connected K-node
 // graphlet in g.
 func Count(g *Graph, opts Options) (*Result, error) {
+	return CountContext(context.Background(), g, opts)
+}
+
+// CountContext is Count honoring a context: the build-up phase and the
+// sampling loops check ctx periodically, so a deadline or cancellation
+// stops the run promptly with ctx.Err().
+func CountContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
 	if opts.K == 0 {
 		opts.K = 4
 	}
@@ -187,7 +203,7 @@ func Count(g *Graph, opts Options) (*Result, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	res, err := core.Count(g, coreConfig(opts))
+	res, err := core.CountContext(ctx, g, coreConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +213,9 @@ func Count(g *Graph, opts Options) (*Result, error) {
 		Samples:    res.Samples,
 		BuildTime:  res.BuildTime,
 		SampleTime: res.SampleTime,
+		OpenTime:   res.OpenTime,
 		TableBytes: res.TableBytes,
+		Covered:    res.Covered,
 	}, nil
 }
 
@@ -239,13 +257,19 @@ type TableInfo struct {
 // must match the later queries; Lambda applies at build time only (queries
 // read the saved coloring and must leave Lambda unset).
 func BuildTable(g *Graph, opts Options, path string) (*TableInfo, error) {
+	return BuildTableContext(context.Background(), g, opts, path)
+}
+
+// BuildTableContext is BuildTable honoring a context: a canceled or
+// expired ctx stops the build-up phase promptly.
+func BuildTableContext(ctx context.Context, g *Graph, opts Options, path string) (*TableInfo, error) {
 	if opts.K == 0 {
 		opts.K = 4
 	}
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
-	stats, fileBytes, err := core.BuildTable(g, coreConfig(opts), path)
+	stats, fileBytes, err := core.BuildTableContext(ctx, g, coreConfig(opts), path)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +280,90 @@ func BuildTable(g *Graph, opts Options, path string) (*TableInfo, error) {
 		FileBytes:  fileBytes,
 	}, nil
 }
+
+// Engine is a long-lived query session over one persisted count table: the
+// table is opened, validated and turned into the master sampling urn once,
+// and every Count query then costs only an O(1) urn clone plus its own
+// deterministic RNG stream. An Engine is safe for concurrent use — serving
+// N queries from N goroutines is the intended deployment shape — and a
+// query at seed s returns bit-identical estimates to a one-shot
+// Count(Options{TablePath: ..., Seed: s}).
+//
+//	eng, err := motivo.Open(g, "graph.tbl")
+//	if err != nil { ... }
+//	res, err := eng.Count(ctx, motivo.Query{Strategy: motivo.AGS, Samples: 50000, Seed: 7})
+type Engine struct {
+	eng *core.Engine
+}
+
+// Open loads a count table persisted by BuildTable (or `motivo build -o`)
+// and prepares a query engine over it. The per-query cost of the one-shot
+// TablePath path — file open, validation, urn construction — is paid here
+// exactly once.
+func Open(g *Graph, tablePath string) (*Engine, error) {
+	eng, err := core.Open(g, tablePath)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Query parameterizes one Engine.Count call. The zero value is completed
+// with the same defaults as Options: 100k samples, naive strategy, seed 1.
+type Query struct {
+	// Strategy selects Naive or AGS.
+	Strategy Strategy
+	// Samples is the sampling budget. Default 100000.
+	Samples int
+	// CoverThreshold is AGS's covering threshold c̄. Default 1000.
+	CoverThreshold int
+	// Seed makes the query reproducible. Default 1.
+	Seed int64
+	// SampleWorkers parallelizes this query across urn clones (≤ 1 =
+	// sequential).
+	SampleWorkers int
+}
+
+// Count serves one query from the engine's table. It honors ctx — a
+// canceled request (an HTTP client disconnect, a deadline) stops the
+// sampling loop promptly — and may be called concurrently from any number
+// of goroutines.
+func (e *Engine) Count(ctx context.Context, q Query) (*Result, error) {
+	if q.Samples == 0 {
+		q.Samples = 100000
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	qres, err := e.eng.Count(ctx, core.Query{
+		Strategy:       q.Strategy,
+		Samples:        q.Samples,
+		CoverThreshold: q.CoverThreshold,
+		Seed:           q.Seed,
+		SampleWorkers:  q.SampleWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		K:          e.eng.K(),
+		Counts:     qres.Counts,
+		Samples:    qres.Samples,
+		SampleTime: qres.SampleTime,
+		TableBytes: e.eng.TableBytes(),
+		Covered:    qres.Covered,
+	}, nil
+}
+
+// K returns the graphlet size the engine's table was built for.
+func (e *Engine) K() int { return e.eng.K() }
+
+// OpenTime reports how long Open spent loading the table and building the
+// master urn — the cost the engine amortizes over all of its queries.
+func (e *Engine) OpenTime() time.Duration { return e.eng.OpenTime() }
+
+// TableBytes is the packed in-memory count-table payload the engine holds.
+func (e *Engine) TableBytes() int64 { return e.eng.TableBytes() }
 
 // ExactCount returns the exact induced counts of every connected k-node
 // graphlet via exhaustive ESU enumeration — feasible for small graphs and

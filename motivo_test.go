@@ -1,6 +1,7 @@
 package motivo
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -170,5 +171,80 @@ func TestSpillOption(t *testing.T) {
 	}
 	if len(res.Counts) == 0 {
 		t.Error("spill run produced no estimates")
+	}
+}
+
+// TestEngineFacade drives the public serving API end to end: BuildTable →
+// Open → concurrent-safe queries that are bit-identical to one-shot Count
+// runs over the same table, with the open cost paid once.
+func TestEngineFacade(t *testing.T) {
+	g := ErdosRenyi(70, 210, 19)
+	path := t.TempDir() + "/facade.tbl"
+	if _, err := BuildTable(g, Options{K: 4, Seed: 23}, path); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.K() != 4 || eng.OpenTime() <= 0 || eng.TableBytes() <= 0 {
+		t.Fatalf("engine metadata: k=%d open=%v bytes=%d", eng.K(), eng.OpenTime(), eng.TableBytes())
+	}
+	for _, strat := range []Strategy{Naive, AGS} {
+		res, err := eng.Count(context.Background(), Query{
+			Strategy: strat, Samples: 4000, CoverThreshold: 200, Seed: 23,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := Count(g, Options{
+			K: 4, Samples: 4000, Strategy: strat, CoverThreshold: 200,
+			Seed: 23, TablePath: path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Counts) != len(oneShot.Counts) {
+			t.Fatalf("%v: support differs (%d vs %d)", strat, len(res.Counts), len(oneShot.Counts))
+		}
+		for c, v := range oneShot.Counts {
+			if res.Counts[c] != v {
+				t.Fatalf("%v: engine estimate for %v differs from one-shot", strat, c)
+			}
+		}
+		if res.BuildTime != 0 || res.OpenTime != 0 {
+			t.Errorf("%v: engine query reports phase times it did not pay (build=%v open=%v)",
+				strat, res.BuildTime, res.OpenTime)
+		}
+	}
+	if oneShot, err := Count(g, Options{K: 4, Samples: 1000, Seed: 23, TablePath: path}); err != nil {
+		t.Fatal(err)
+	} else if oneShot.OpenTime <= 0 || oneShot.BuildTime != 0 {
+		t.Errorf("one-shot TablePath run: open=%v build=%v, want open>0 build=0", oneShot.OpenTime, oneShot.BuildTime)
+	}
+}
+
+// TestCountContextCancellation: the public context entry points honor a
+// canceled ctx in both the build and sampling phases.
+func TestCountContextCancellation(t *testing.T) {
+	g := ErdosRenyi(60, 180, 29)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CountContext(ctx, g, Options{K: 4, Samples: 100}); err == nil {
+		t.Error("canceled build: expected error")
+	}
+	if _, err := BuildTableContext(ctx, g, Options{K: 4}, t.TempDir()+"/c.tbl"); err == nil {
+		t.Error("canceled BuildTable: expected error")
+	}
+	path := t.TempDir() + "/c2.tbl"
+	if _, err := BuildTable(g, Options{K: 4, Seed: 31}, path); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := Open(g, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Count(ctx, Query{Samples: 100000}); err == nil {
+		t.Error("canceled query: expected error")
 	}
 }
