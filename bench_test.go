@@ -333,23 +333,67 @@ func BenchmarkAGSParallel(b *testing.B) {
 func storageGraph() *graph.Graph { return gen.ErdosRenyi(800, 2400, 1033) }
 
 // BenchmarkTableBytesPerPair tracks the packed table's memory footprint:
-// bytes/pair is the succinctness headline (the dense slice layout was 24),
-// so BENCH_ci.json records memory regressions alongside time.
+// bytes/pair is the succinctness headline (the dense slice layout was 24)
+// and totalKB the whole-table size, so BENCH_ci.json records memory
+// regressions alongside time. The smartstars arm synthesizes the star
+// family from degree summaries (stored pairs shrink AND total bytes drop
+// ≥2x, the smart-star headline); materialized is the pre-smart layout.
 func BenchmarkTableBytesPerPair(b *testing.B) {
 	g := storageGraph()
 	col := coloring.Uniform(g.NumNodes(), 5, 1007)
 	cat := treelet.NewCatalog(5)
-	var bytes, pairs int64
+	for _, bm := range []struct {
+		name  string
+		smart bool
+	}{
+		{"smartstars", true},
+		{"materialized", false},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			var bytes, pairs int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := build.DefaultOptions()
+				opts.SmartStars = bm.smart
+				_, stats, err := build.Run(context.Background(), g, col, 5, cat, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes, pairs = stats.TableBytes, stats.Pairs
+			}
+			b.ReportMetric(float64(bytes)/float64(pairs), "bytes/pair")
+			b.ReportMetric(float64(bytes)/1024, "totalKB")
+		})
+	}
+}
+
+// BenchmarkBuildSmartStars vs BenchmarkBuildMaterializedStars track the
+// build-phase half of the smart-star trade at the acceptance scenario
+// (k=6 on the storage ER graph): the smart build skips the DP for every
+// height-≤2 shape (check-and-merge ops drop ~2.3x) but synthesizes its DP
+// inputs on read; the regression pipeline watches both arms so neither
+// side of the trade silently rots.
+func benchBuildStars(b *testing.B, smart bool) {
+	g := storageGraph()
+	k := 6
+	col := coloring.Uniform(g.NumNodes(), k, 1007)
+	cat := treelet.NewCatalog(k)
+	var bytes int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, stats, err := build.Run(context.Background(), g, col, 5, cat, build.DefaultOptions())
+		opts := build.DefaultOptions()
+		opts.SmartStars = smart
+		_, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		bytes, pairs = stats.TableBytes, stats.Pairs
+		bytes = stats.TableBytes
 	}
-	b.ReportMetric(float64(bytes)/float64(pairs), "bytes/pair")
+	b.ReportMetric(float64(bytes)/1024, "tableKB")
 }
+
+func BenchmarkBuildSmartStars(b *testing.B)        { benchBuildStars(b, true) }
+func BenchmarkBuildMaterializedStars(b *testing.B) { benchBuildStars(b, false) }
 
 // benchBuiltTable builds the storage workload once, for the save/open
 // benches.

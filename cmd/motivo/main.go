@@ -89,13 +89,15 @@ func loadGraph(path string) (*motivo.Graph, error) {
 }
 
 func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	typ := fs.String("type", "ba", "generator: ba, er, star, lollipop")
 	n := fs.Int("n", 10000, "number of nodes (er/ba) or leaves (star) or clique size (lollipop)")
 	m := fs.Int("m", 5, "edges per node (ba), total edges (er), extra edges (star), tail length (lollipop)")
 	seed := fs.Int64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output edge-list file (default stdout)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var g *motivo.Graph
 	switch *typ {
@@ -127,14 +129,17 @@ func cmdGen(args []string) error {
 }
 
 func cmdBuild(args []string) error {
-	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	in := fs.String("i", "", "input edge-list file (required)")
 	k := fs.Int("k", 5, "treelet size")
 	seed := fs.Int64("seed", 1, "coloring seed")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
+	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	out := fs.String("o", "", "persist the count table (arena + index + coloring) to this file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("build: -i is required")
 	}
@@ -159,6 +164,7 @@ func cmdBuild(args []string) error {
 	cat := treelet.NewCatalog(*k)
 	opts := build.DefaultOptions()
 	opts.Spill = *spill
+	opts.SmartStars = *smartStars
 	tab, stats, err := build.Run(context.Background(), g, col, *k, cat, opts)
 	if err != nil {
 		return err
@@ -166,9 +172,13 @@ func cmdBuild(args []string) error {
 	fmt.Printf("graph:            %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	fmt.Printf("build time:       %v\n", stats.Duration.Round(1e6))
 	fmt.Printf("check-and-merge:  %d ops\n", stats.CheckMergeOps)
-	fmt.Printf("table:            %d pairs, %.1f MiB (%.2f bytes/pair)\n",
+	mode := "smart stars (star records synthesized)"
+	if !*smartStars {
+		mode = "materialized (all records stored)"
+	}
+	fmt.Printf("table:            %d stored pairs, %.1f MiB (%.2f bytes/pair), %s\n",
 		stats.Pairs, float64(stats.TableBytes)/(1<<20),
-		float64(stats.TableBytes)/float64(max(stats.Pairs, 1)))
+		float64(stats.TableBytes)/float64(max(stats.Pairs, 1)), mode)
 	fmt.Printf("colorful k-trees: %v\n", tab.TotalK())
 	for h := 2; h <= *k; h++ {
 		fmt.Printf("  level %d: %v\n", h, stats.LevelTime[h].Round(1e6))
@@ -185,7 +195,7 @@ func cmdBuild(args []string) error {
 }
 
 func cmdCount(args []string) error {
-	fs := flag.NewFlagSet("count", flag.ExitOnError)
+	fs := flag.NewFlagSet("count", flag.ContinueOnError)
 	in := fs.String("i", "", "input edge-list file (required)")
 	k := fs.Int("k", 5, "graphlet size")
 	samples := fs.Int("samples", 100000, "per-coloring sampling budget")
@@ -195,11 +205,14 @@ func cmdCount(args []string) error {
 	sampleWorkers := fs.Int("sample-workers", 0, "sampling-phase goroutines (0/1 = sequential)")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
+	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	tablePath := fs.String("table", "", "open a persisted count table (`motivo build -o`) instead of building")
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
 	verbose := fs.Bool("v", false, "print phase timing detail (open vs build vs sampling, AGS coverage)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("count: -i is required")
 	}
@@ -223,6 +236,9 @@ func cmdCount(args []string) error {
 		if *spill {
 			return fmt.Errorf("count: -spill is a build-phase option; it has no effect with -table")
 		}
+		if !*smartStars {
+			return fmt.Errorf("count: -smart-stars is a build-phase option; whether a persisted table is smart was decided by `motivo build`")
+		}
 	}
 	g, err := loadGraph(*in)
 	if err != nil {
@@ -233,7 +249,8 @@ func cmdCount(args []string) error {
 		Strategy: strat, CoverThreshold: *cover,
 		SampleWorkers: *sampleWorkers,
 		Lambda:        *lambda, Spill: *spill, Seed: *seed,
-		TablePath: *tablePath,
+		MaterializeStars: !*smartStars,
+		TablePath:        *tablePath,
 	})
 	if err != nil {
 		return err
@@ -267,11 +284,13 @@ func cmdCount(args []string) error {
 // workflow as a network service: the table open and urn construction run
 // once here, and every request pays only for its own sampling.
 func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	in := fs.String("i", "", "input edge-list file (required)")
 	tablePath := fs.String("table", "", "persisted count table to serve (required, from `motivo build -o`)")
 	addr := fs.String("addr", ":8080", "listen address")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" || *tablePath == "" {
 		return fmt.Errorf("serve: -i and -table are required")
 	}
@@ -320,10 +339,12 @@ func cmdServe(args []string) error {
 }
 
 func cmdExact(args []string) error {
-	fs := flag.NewFlagSet("exact", flag.ExitOnError)
+	fs := flag.NewFlagSet("exact", flag.ContinueOnError)
 	in := fs.String("i", "", "input edge-list file (required)")
 	k := fs.Int("k", 4, "graphlet size")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("exact: -i is required")
 	}

@@ -82,12 +82,19 @@ type Options struct {
 	// BufferThreshold is the degree at which neighbor buffering starts
 	// (0 keeps the paper's default of 10^4).
 	BufferThreshold int
+	// SmartStars enables smart-star synthesis (Section 3.2): star-family
+	// treelets (every rooted shape of height ≤ 2) are never materialized —
+	// the DP skips producing them, levels below size 4 are not stored at
+	// all, and the table synthesizes their records on demand from per-node
+	// colored-degree summaries. Counts, estimates and sampled draw
+	// sequences are bit-identical to a materialized build at equal seed.
+	SmartStars bool
 }
 
 // DefaultOptions returns the paper's defaults: GOMAXPROCS workers,
-// 0-rooting on, no spilling, buffering above degree 10^4.
+// 0-rooting on, smart stars on, no spilling, buffering above degree 10^4.
 func DefaultOptions() Options {
-	return Options{ZeroRooted: true, BufferThreshold: DefaultBufferThreshold}
+	return Options{ZeroRooted: true, BufferThreshold: DefaultBufferThreshold, SmartStars: true}
 }
 
 // spillEnabled reports whether greedy flushing is active.
@@ -163,10 +170,19 @@ func Run(ctx context.Context, g *graph.Graph, col *coloring.Coloring, k int, cat
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	if err := b.levelOne(); err != nil {
+	firstPass := 2
+	if opts.SmartStars {
+		// Smart stars: sizes 1..3 are fully synthesized from the
+		// colored-degree summaries — no DP pass, no stored level. The first
+		// DP pass is size 4, reading the synthetic views below it.
+		if err := b.tab.EnableSmartStars(g, col); err != nil {
+			return nil, nil, err
+		}
+		firstPass = 4
+	} else if err := b.levelOne(); err != nil {
 		return nil, nil, err
 	}
-	for h := 2; h <= k; h++ {
+	for h := firstPass; h <= k; h++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
@@ -320,27 +336,62 @@ func (b *builder) level(ctx context.Context, h int) error {
 	return nil
 }
 
+// maxMemoRecords caps the per-worker decoded-record memo: a level pass
+// consults each lower-level record once per consumer (deg(v) times across
+// the shard), and decoding — or, with smart stars, synthesizing — it anew
+// every time dominates the pass. 1<<15 records bound the memo to a few
+// tens of MB per worker on dense graphs; when the cap is hit the memo is
+// simply dropped and refills (correctness never depends on it).
+const maxMemoRecords = 1 << 15
+
 // worker is the per-goroutine state of the level pass: the accumulation
-// map, reusable decode/encode scratch (lower levels are packed; each
-// record consulted is decoded once into slice form before the inner loop),
-// and local stat counters (merged once at the end, so the hot loop is
-// contention-free).
+// map, the decoded-record memo (lower levels are packed or synthesized;
+// each record consulted is materialized into slice form at most once per
+// pass), and local stat counters (merged once at the end, so the hot loop
+// is contention-free).
 type worker struct {
 	b   *builder
 	h   int
 	acc map[treelet.Colored]u128.Uint128
 
-	rvBuf  table.Pairs // decoded remainder-side record of v
-	ruBuf  table.Pairs // decoded first-child-side record of one neighbor
-	outBuf table.Pairs // sorted result of the accumulation map
-	enc    []byte      // packed encoding handed to the sink
+	recMemo map[int64]*table.Pairs // decoded (size, node) records
+	outBuf  table.Pairs            // sorted result of the accumulation map
+	aggBuf  table.Pairs            // neighbor-buffered aggregate record
+	enc     []byte                 // packed encoding handed to the sink
+	cache   *table.SynthCache      // memo for smart-star neighbor sums (nil when materialized)
 
 	ops      int64
 	buffered int64
 }
 
 func newWorker(b *builder, h int) *worker {
-	return &worker{b: b, h: h, acc: make(map[treelet.Colored]u128.Uint128)}
+	w := &worker{
+		b: b, h: h,
+		acc:     make(map[treelet.Colored]u128.Uint128),
+		recMemo: make(map[int64]*table.Pairs),
+	}
+	if b.opts.SmartStars {
+		// Smart inputs are synthesized on read; the per-worker memo keeps
+		// the neighbor-sum terms from being recomputed per consumer.
+		w.cache = table.NewSynthCache()
+	}
+	return w
+}
+
+// pairs returns the decoded record of node v at size h, memoized per
+// worker. The result is shared and must be treated as read-only.
+func (w *worker) pairs(h int, v int32) *table.Pairs {
+	key := int64(h)<<32 | int64(uint32(v))
+	if p, ok := w.recMemo[key]; ok {
+		return p
+	}
+	p := new(table.Pairs)
+	w.b.tab.Rec(h, v).WithCache(w.cache).AppendPairs(p)
+	if len(w.recMemo) >= maxMemoRecords {
+		clear(w.recMemo)
+	}
+	w.recMemo[key] = p
+	return p
 }
 
 // vertexRecord computes the full size-h record of node v by the
@@ -356,31 +407,27 @@ func (w *worker) vertexRecord(v int32) *table.Pairs {
 	}
 	for hpp := 1; hpp < w.h; hpp++ {
 		hp := w.h - hpp
-		rv := b.tab.Rec(hp, v)
+		rv := w.pairs(hp, v)
 		if rv.Len() == 0 {
 			continue
 		}
-		w.rvBuf.Reset()
-		rv.AppendPairs(&w.rvBuf)
 		if useBuffer {
 			// Neighbor buffering: Σ_u Σ c(T',v)·c(T'',u) factors as
 			// Σ c(T',v)·(Σ_u c(T'',u)) — aggregate the neighborhood once,
 			// then combine against a single record.
 			w.aggregateNeighbors(v, hpp)
-			if w.ruBuf.Len() == 0 {
+			if w.aggBuf.Len() == 0 {
 				continue
 			}
-			w.combine(&w.ruBuf, &w.rvBuf)
+			w.combine(&w.aggBuf, rv)
 			continue
 		}
 		for _, u := range b.g.Neighbors(v) {
-			ru := b.tab.Rec(hpp, u)
+			ru := w.pairs(hpp, u)
 			if ru.Len() == 0 {
 				continue
 			}
-			w.ruBuf.Reset()
-			ru.AppendPairs(&w.ruBuf)
-			w.combine(&w.ruBuf, &w.rvBuf)
+			w.combine(ru, rv)
 		}
 	}
 	w.outBuf.Reset()
@@ -400,21 +447,19 @@ func (w *worker) vertexRecord(v int32) *table.Pairs {
 }
 
 // aggregateNeighbors sums the size-hpp records of v's neighbors into
-// w.ruBuf as one sorted pair list.
+// w.aggBuf as one sorted pair list.
 func (w *worker) aggregateNeighbors(v int32, hpp int) {
 	b := w.b
 	agg := make(map[treelet.Colored]u128.Uint128)
 	for _, u := range b.g.Neighbors(v) {
-		ru := b.tab.Rec(hpp, u)
-		c := ru.Cursor(0)
+		ru := w.pairs(hpp, u)
 		for i := 0; i < ru.Len(); i++ {
-			key, cnt := c.Next()
-			agg[key] = agg[key].Add(cnt)
+			agg[ru.Keys[i]] = agg[ru.Keys[i]].Add(ru.Counts[i])
 			w.ops++
 		}
 	}
-	w.ruBuf.Reset()
-	w.ruBuf.FromMap(agg)
+	w.aggBuf.Reset()
+	w.aggBuf.FromMap(agg)
 }
 
 // combine walks the shape runs of ru (first-child side T”) and rv
@@ -423,6 +468,7 @@ func (w *worker) aggregateNeighbors(v int32, hpp int) {
 // sort by (treelet, colorset), so each shape's colorings are contiguous.
 func (w *worker) combine(ru, rv *table.Pairs) {
 	cat := w.b.cat
+	smart := w.b.opts.SmartStars
 	i := 0
 	for i < ru.Len() {
 		tpp := ru.Keys[i].Tree()
@@ -430,12 +476,20 @@ func (w *worker) combine(ru, rv *table.Pairs) {
 		for iEnd < ru.Len() && ru.Keys[iEnd].Tree() == tpp {
 			iEnd++
 		}
+		// Merge(tp, tpp) has height max(height(tp), height(tpp)+1); with
+		// smart stars every height-≤2 result is synthesized on demand, so
+		// the DP never produces it — the star half of the smart-star win.
+		hpp := cat.Height(tpp)
 		j := 0
 		for j < rv.Len() {
 			tp := rv.Keys[j].Tree()
 			jEnd := j + 1
 			for jEnd < rv.Len() && rv.Keys[jEnd].Tree() == tp {
 				jEnd++
+			}
+			if smart && hpp <= 1 && cat.Height(tp) <= 2 {
+				j = jEnd
+				continue
 			}
 			// One pair of shape runs = (iEnd-i)·(jEnd-j) candidate pairs;
 			// count them all, as CC does, whether or not the merge is

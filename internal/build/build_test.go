@@ -186,7 +186,9 @@ func TestRunMatchesBruteForce(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s k=%d: %v", name, k, err)
 			}
-			if stats.CheckMergeOps <= 0 && k > 1 {
+			// Smart stars synthesize every size ≤ 3 level, so the first DP
+			// pass (and with it any check-and-merge op) happens at k ≥ 4.
+			if stats.CheckMergeOps <= 0 && k > 3 {
 				t.Errorf("%s k=%d: no check-merge ops recorded", name, k)
 			}
 			want := bruteForce(t, g, col, k)
@@ -267,14 +269,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var bufSeq, bufPar bytes.Buffer
-	if _, err := tabSeq.WriteTo(&bufSeq); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := tabPar.WriteTo(&bufPar); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(bufSeq.Bytes(), bufPar.Bytes()) {
+	if !bytes.Equal(tableBytes(t, tabSeq, col), tableBytes(t, tabPar, col)) {
 		t.Fatal("parallel and sequential builds are not byte-identical")
 	}
 }
@@ -302,17 +297,18 @@ func TestSpillRoundTrip(t *testing.T) {
 	if stats.SpillBytes == 0 {
 		t.Error("spill run reports zero spill bytes")
 	}
-	if !bytes.Equal(tableBytes(t, mem), tableBytes(t, spilled)) {
+	if !bytes.Equal(tableBytes(t, mem, col), tableBytes(t, spilled, col)) {
 		t.Fatal("spilled table differs from in-memory table")
 	}
 }
 
 // tableBytes serializes a table for byte-identity comparisons: SetLevel
 // compacts every level into node order, so equal tables serialize equal.
-func tableBytes(t *testing.T, tab *table.Table) []byte {
+// The coloring travels along because smart tables require it to save.
+func tableBytes(t *testing.T, tab *table.Table, col *coloring.Coloring) []byte {
 	t.Helper()
 	var buf bytes.Buffer
-	if _, err := tab.WriteTo(&buf); err != nil {
+	if _, err := table.Save(&buf, tab, col); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -344,7 +340,7 @@ func TestBufferedMatchesUnbuffered(t *testing.T) {
 	if statsBuf.BufferedNodes == 0 {
 		t.Fatal("buffering never used despite threshold 1")
 	}
-	if !bytes.Equal(tableBytes(t, tabPlain), tableBytes(t, tabBuf)) {
+	if !bytes.Equal(tableBytes(t, tabPlain, col), tableBytes(t, tabBuf, col)) {
 		t.Fatal("buffered table differs from unbuffered table")
 	}
 }
@@ -430,7 +426,7 @@ func TestRunValidation(t *testing.T) {
 // not a panic or a silent in-memory fallback.
 func TestSpillErrorPath(t *testing.T) {
 	g := gen.Path(6)
-	k := 3
+	k := 4 // the first stored (spillable) level of a smart build is size 4
 	col := coloring.Uniform(g.NumNodes(), k, 41)
 	cat := treelet.NewCatalog(k)
 	opts := build.DefaultOptions()

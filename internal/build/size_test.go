@@ -10,16 +10,20 @@ import (
 	"repro/internal/treelet"
 )
 
-// TestPackedTableBeatsDenseLayout is the storage-engine acceptance test:
-// on the benchmark ER graph the packed table (arena + block index + offset
-// index, as accounted by Table.Bytes) must be at least 2.5x smaller than
-// the former 24-byte/pair word-aligned slice layout.
+// TestPackedTableBeatsDenseLayout is the packed-codec acceptance test: on
+// the benchmark ER graph the fully materialized packed table (arena +
+// block index + offset index, as accounted by Table.Bytes) must be at
+// least 2.5x smaller than the former 24-byte/pair word-aligned slice
+// layout. Smart stars are off here on purpose — this measures the codec's
+// bytes/pair, not the synthesis win (TestSmartStarsTableBytes does that).
 func TestPackedTableBeatsDenseLayout(t *testing.T) {
 	g := gen.ErdosRenyi(800, 2400, 1033)
 	k := 5
 	col := coloring.Uniform(g.NumNodes(), k, 1007)
 	cat := treelet.NewCatalog(k)
-	tab, stats, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
+	opts := build.DefaultOptions()
+	opts.SmartStars = false
+	tab, stats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,5 +41,42 @@ func TestPackedTableBeatsDenseLayout(t *testing.T) {
 	if dense/bytesPerPair < 2.5 {
 		t.Errorf("packed table only %.2fx smaller than the 24-byte/pair layout (%.2f bytes/pair), want ≥ 2.5x",
 			dense/bytesPerPair, bytesPerPair)
+	}
+}
+
+// TestSmartStarsTableBytes is the smart-star acceptance test: at k=6 on
+// the benchmark ER graph, synthesizing the star family (all height-≤2
+// shapes) instead of materializing it must cut total table bytes — arenas,
+// offset indexes, and the degree summaries the synthesis needs — by at
+// least 2x against the fully materialized build of the same coloring.
+func TestSmartStarsTableBytes(t *testing.T) {
+	g := gen.ErdosRenyi(800, 2400, 1033)
+	k := 6
+	col := coloring.Uniform(g.NumNodes(), k, 1007)
+	cat := treelet.NewCatalog(k)
+
+	mat := build.DefaultOptions()
+	mat.SmartStars = false
+	tabMat, _, err := build.Run(context.Background(), g, col, k, cat, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabSmart, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matB, smartB := tabMat.Bytes(), tabSmart.Bytes()
+	if smartB <= 0 || matB <= 0 {
+		t.Fatalf("implausible byte accounting: materialized %d, smart %d", matB, smartB)
+	}
+	ratio := float64(matB) / float64(smartB)
+	t.Logf("k=%d ER bench graph: materialized %d bytes, smart %d bytes (%.2fx)", k, matB, smartB, ratio)
+	if ratio < 2 {
+		t.Errorf("smart stars shrink the table only %.2fx (materialized %d bytes, smart %d), want ≥ 2x",
+			ratio, matB, smartB)
+	}
+	// The smart table must serve the same urn: identical grand total.
+	if tabMat.TotalK() != tabSmart.TotalK() {
+		t.Errorf("TotalK differs: materialized %v, smart %v", tabMat.TotalK(), tabSmart.TotalK())
 	}
 }

@@ -70,6 +70,7 @@ func TestCCTableMatchesMotivoTable(t *testing.T) {
 	}
 	opts := build.DefaultOptions()
 	opts.ZeroRooted = false
+	opts.SmartStars = false // CC materializes everything; compare like for like
 	moTab, moStats, err := build.Run(context.Background(), g, col, k, cat, opts)
 	if err != nil {
 		t.Fatal(err)

@@ -110,6 +110,12 @@ type Config struct {
 	// BufferThreshold overrides the neighbor-buffering degree threshold
 	// (0 keeps the paper's default of 10^4).
 	BufferThreshold int
+	// MaterializeStars disables smart-star synthesis (on by default):
+	// star-family records are computed by the DP and stored instead of
+	// being synthesized from colored-degree summaries. Estimates and draw
+	// sequences are bit-identical either way; materializing costs build
+	// time and table bytes and exists for comparison and debugging.
+	MaterializeStars bool
 	// TablePath, when set, skips the build-up phase entirely: the count
 	// table (and the coloring that produced it) is opened from a file
 	// written by BuildTable or `motivo build -o` — the build-once /
@@ -173,6 +179,7 @@ func buildFor(ctx context.Context, g *graph.Graph, cfg Config, col *coloring.Col
 	opts := build.DefaultOptions()
 	opts.Workers = cfg.Workers
 	opts.Spill = cfg.Spill
+	opts.SmartStars = !cfg.MaterializeStars
 	if cfg.BufferThreshold > 0 {
 		opts.BufferThreshold = cfg.BufferThreshold
 	}

@@ -234,9 +234,10 @@ func TestParallelAGSThroughCore(t *testing.T) {
 }
 
 func TestBufferThresholdReachesBuild(t *testing.T) {
+	// K=4 so a DP pass actually runs: smart stars synthesize all of K ≤ 3.
 	g := gen.StarHeavy(1, 120, 30, 43)
 	res, err := Count(g, Config{
-		K: 3, Colorings: 1, SamplesPerColoring: 500,
+		K: 4, Colorings: 1, SamplesPerColoring: 500,
 		BufferThreshold: 1, Seed: 47,
 	})
 	if err != nil {

@@ -97,6 +97,14 @@ func newEngine(g *graph.Graph, tab *table.Table, col *coloring.Coloring, cat *tr
 	if tab.N != g.NumNodes() {
 		return nil, fmt.Errorf("table covers %d nodes, graph has %d", tab.N, g.NumNodes())
 	}
+	if tab.SmartStars() && !tab.GraphAttached() {
+		// A loaded smart table synthesizes star records from the graph's
+		// adjacency; binding verifies its degree summaries against g, so a
+		// table paired with the wrong graph fails here, at open time.
+		if err := tab.AttachGraph(g); err != nil {
+			return nil, err
+		}
+	}
 	urn, err := sample.NewUrn(g, col, tab, cat)
 	if err != nil {
 		return nil, err

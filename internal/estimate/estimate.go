@@ -7,6 +7,7 @@ package estimate
 
 import (
 	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/graphlet"
@@ -97,11 +98,21 @@ func Naive(tallies map[graphlet.Code]int64, samples int64, t float64, sig *Sigma
 	return out
 }
 
-// Frequencies normalizes counts into a frequency vector.
+// Frequencies normalizes counts into a frequency vector. The total is
+// accumulated in sorted-code order, not map order: float summation is not
+// associative, so map-order accumulation made the last ulp of every
+// frequency wobble between byte-identical runs — invisible to accuracy,
+// fatal to the bit-identity guarantees the engine and smart-star tests
+// assert.
 func Frequencies(c Counts) Counts {
+	codes := make([]graphlet.Code, 0, len(c))
+	for k := range c {
+		codes = append(codes, k)
+	}
+	sort.Slice(codes, func(i, j int) bool { return codes[i].Less(codes[j]) })
 	var total float64
-	for _, v := range c {
-		total += v
+	for _, k := range codes {
+		total += c[k]
 	}
 	out := make(Counts, len(c))
 	if total == 0 {

@@ -2,6 +2,7 @@ package sample
 
 import (
 	"repro/internal/graphlet"
+	"repro/internal/table"
 	"repro/internal/treelet"
 )
 
@@ -21,6 +22,7 @@ func (u *Urn) Clone() *Urn {
 		total:           u.total,
 		buffers:         make(map[bufKey][]childChoice),
 		canonCache:      make(map[graphlet.Code]graphlet.Code),
+		synthCache:      table.NewSynthCache(),
 	}
 }
 

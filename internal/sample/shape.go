@@ -34,7 +34,7 @@ func (u *Urn) NewShapeUrn(shape treelet.Treelet) (*ShapeUrn, error) {
 	s := &ShapeUrn{Shape: shape, urn: u, rootings: rootings}
 	weights := make([]float64, 0, len(u.roots))
 	for _, v := range u.roots {
-		rec := u.Tab.Rec(u.K, v)
+		rec := u.Tab.Rec(u.K, v).WithCache(u.synthCache)
 		w := u128.Zero
 		for _, t := range rootings {
 			w = w.Add(rec.ShapeTotal(t))
@@ -70,25 +70,24 @@ func (s *ShapeUrn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
 		panic("sample: shape urn is empty")
 	}
 	v := s.roots[s.rootAlias.Next(rng)]
-	rec := s.urn.Tab.Rec(s.urn.K, v)
+	rec := s.urn.Tab.Rec(s.urn.K, v).WithCache(s.urn.synthCache)
 	// Choose the rooted form of the shape proportionally to its count at
 	// v, then a colored treelet within that rooted form.
 	var (
-		cum    []float64
-		ranges [][2]int
-		total  float64
+		cum   []float64
+		trees []treelet.Treelet
+		total float64
 	)
 	for _, t := range s.rootings {
-		lo, hi := rec.ShapeRange(t)
-		if lo == hi {
+		w := rec.ShapeTotal(t)
+		if w.IsZero() {
 			continue
 		}
-		w := rec.RangeTotal(lo, hi)
 		total += w.Float64()
 		cum = append(cum, total)
-		ranges = append(ranges, [2]int{lo, hi})
+		trees = append(trees, t)
 	}
-	r := ranges[searchFloat(cum, rng.Float64()*total)]
-	tc := rec.SampleRange(rng, r[0], r[1])
+	t := trees[searchFloat(cum, rng.Float64()*total)]
+	tc := rec.SampleShape(rng, t)
 	return s.urn.materialize(v, tc, rng)
 }

@@ -1,0 +1,162 @@
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/build"
+	"repro/internal/coloring"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/table"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// The smart-star property: for random graphs and every treelet size, a
+// smart table must be observationally identical to the materialized table
+// of the same coloring — entry-identical records (keys, counts, totals)
+// and identical urn draw sequences at equal seed. This is the invariant
+// everything else (bit-identical estimates, AGS behavior, the serving
+// layer) rests on.
+
+func buildPair(t *testing.T, g *graph.Graph, k int, seed int64) (*table.Table, *table.Table, *coloring.Coloring, *treelet.Catalog) {
+	t.Helper()
+	col := coloring.Uniform(g.NumNodes(), k, seed)
+	cat := treelet.NewCatalog(k)
+	mat := build.DefaultOptions()
+	mat.SmartStars = false
+	tabMat, _, err := build.Run(context.Background(), g, col, k, cat, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabSmart, _, err := build.Run(context.Background(), g, col, k, cat, build.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tabMat, tabSmart, col, cat
+}
+
+// entries flattens one record view into pairs.
+func entries(vw table.View) (keys []treelet.Colored, counts []u128.Uint128) {
+	vw.Each(func(k treelet.Colored, c u128.Uint128) bool {
+		keys = append(keys, k)
+		counts = append(counts, c)
+		return true
+	})
+	return
+}
+
+func TestSmartRecordsEntryIdenticalProperty(t *testing.T) {
+	graphs := map[string]func(seed int64) *graph.Graph{
+		"er": func(seed int64) *graph.Graph { return gen.ErdosRenyi(60, 200, seed) },
+		"ba": func(seed int64) *graph.Graph { return gen.BarabasiAlbert(60, 3, seed) },
+	}
+	for name, mk := range graphs {
+		for _, k := range []int{2, 3, 4, 5} {
+			for seed := int64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/k=%d/seed=%d", name, k, seed), func(t *testing.T) {
+					g := mk(seed)
+					tabMat, tabSmart, _, _ := buildPair(t, g, k, seed*31+int64(k))
+					var total int
+					for h := 1; h <= k; h++ {
+						for v := int32(0); int(v) < g.NumNodes(); v++ {
+							mk, mc := entries(tabMat.Rec(h, v))
+							sk, sc := entries(tabSmart.Rec(h, v))
+							if !reflect.DeepEqual(mk, sk) {
+								t.Fatalf("h=%d v=%d keys differ:\nmat:   %v\nsmart: %v", h, v, mk, sk)
+							}
+							if !reflect.DeepEqual(mc, sc) {
+								t.Fatalf("h=%d v=%d counts differ:\nmat:   %v\nsmart: %v", h, v, mc, sc)
+							}
+							if tabMat.Rec(h, v).Total() != tabSmart.Rec(h, v).Total() {
+								t.Fatalf("h=%d v=%d totals differ", h, v)
+							}
+							total += len(mk)
+						}
+					}
+					if total == 0 {
+						t.Fatal("graphs produced no entries at all — vacuous run")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestSmartUrnDrawSequenceIdentical(t *testing.T) {
+	g := gen.ErdosRenyi(80, 280, 17)
+	for _, k := range []int{3, 4, 5} {
+		tabMat, tabSmart, col, cat := buildPair(t, g, k, int64(k)*101)
+		urnMat, err := NewUrn(g, col, tabMat, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		urnSmart, err := NewUrn(g, col, tabSmart, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if urnMat.Total() != urnSmart.Total() {
+			t.Fatalf("k=%d: urn totals differ: %v vs %v", k, urnMat.Total(), urnSmart.Total())
+		}
+		rngA := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		for i := 0; i < 2000; i++ {
+			codeA, nodesA := urnMat.Sample(rngA)
+			codeB, nodesB := urnSmart.Sample(rngB)
+			if codeA != codeB || !reflect.DeepEqual(nodesA, nodesB) {
+				t.Fatalf("k=%d draw %d differs: %v%v vs %v%v", k, i, codeA, nodesA, codeB, nodesB)
+			}
+		}
+	}
+}
+
+func TestSmartShapeUrnDrawSequenceIdentical(t *testing.T) {
+	g := gen.BarabasiAlbert(90, 3, 23)
+	k := 5
+	tabMat, tabSmart, col, cat := buildPair(t, g, k, 303)
+	urnMat, err := NewUrn(g, col, tabMat, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	urnSmart, err := NewUrn(g, col, tabSmart, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, shape := range cat.UnrootedK {
+		suMat, err := urnMat.NewShapeUrn(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suSmart, err := urnSmart.NewShapeUrn(shape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if suMat.Total() != suSmart.Total() {
+			t.Fatalf("shape %v: totals differ: %v vs %v", shape, suMat.Total(), suSmart.Total())
+		}
+		if suMat.Empty() != suSmart.Empty() {
+			t.Fatalf("shape %v: emptiness differs", shape)
+		}
+		if suMat.Empty() {
+			continue
+		}
+		rngA := rand.New(rand.NewSource(7))
+		rngB := rand.New(rand.NewSource(7))
+		for i := 0; i < 500; i++ {
+			codeA, nodesA := suMat.Sample(rngA)
+			codeB, nodesB := suSmart.Sample(rngB)
+			if codeA != codeB || !reflect.DeepEqual(nodesA, nodesB) {
+				t.Fatalf("shape %v draw %d differs", shape, i)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no shape had occurrences — vacuous run")
+	}
+}

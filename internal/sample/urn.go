@@ -54,6 +54,7 @@ type Urn struct {
 
 	buffers    map[bufKey][]childChoice
 	canonCache map[graphlet.Code]graphlet.Code
+	synthCache *table.SynthCache // memo for smart-star neighbor sums
 
 	// Stats observable by experiments.
 	Sweeps     int64 // neighbor sweeps performed
@@ -83,10 +84,11 @@ func NewUrn(g *graph.Graph, col *coloring.Coloring, tab *table.Table, cat *treel
 		BufferSize:      100,
 		buffers:         make(map[bufKey][]childChoice),
 		canonCache:      make(map[graphlet.Code]graphlet.Code),
+		synthCache:      table.NewSynthCache(),
 	}
 	weights := make([]float64, 0, g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
-		t := tab.Rec(k, int32(v)).Total()
+		t := tab.Rec(k, int32(v)).WithCache(u.synthCache).Total()
 		if !t.IsZero() {
 			u.roots = append(u.roots, int32(v))
 			weights = append(weights, t.Float64())
@@ -120,7 +122,7 @@ func (u *Urn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
 		panic("sample: urn is empty")
 	}
 	v := u.roots[u.rootAlias.Next(rng)]
-	tc := u.Tab.Rec(u.K, v).Sample(rng)
+	tc := u.Tab.Rec(u.K, v).WithCache(u.synthCache).Sample(rng)
 	return u.materialize(v, tc, rng)
 }
 
@@ -163,34 +165,28 @@ func (u *Urn) chooseChild(v int32, tc treelet.Colored, rng *rand.Rand) childChoi
 	tp := u.Cat.Rest(tree)
 	hpp, hp := tpp.Size(), tp.Size()
 	C := tc.Colors()
-	rv := u.Tab.Rec(hp, v)
+	rv := u.Tab.Rec(hp, v).WithCache(u.synthCache)
 
 	u.Sweeps++
 	var cands []childChoice
 	var cum []float64
 	total := 0.0
 	for _, w := range u.G.Neighbors(v) {
-		ru := u.Tab.Rec(hpp, w)
-		if ru.Len() == 0 {
-			continue
-		}
-		lo, hi := ru.ShapeRange(tpp)
-		cur := ru.Cursor(lo)
-		for i := lo; i < hi; i++ {
-			cpp, cu := cur.Next()
+		u.Tab.Rec(hpp, w).WithCache(u.synthCache).ShapeEach(tpp, func(cpp treelet.Colored, cu u128.Uint128) bool {
 			cs := cpp.Colors()
 			if cs&C != cs { // C'' must be a subset of C
-				continue
+				return true
 			}
 			cp := treelet.MakeColored(tp, C&^cs)
 			cv := rv.Count(cp)
 			if cv.IsZero() {
-				continue
+				return true
 			}
 			total += cv.Float64() * cu.Float64()
 			cands = append(cands, childChoice{w, cpp})
 			cum = append(cum, total)
-		}
+			return true
+		})
 	}
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("sample: no child choice for treelet %v at node %d (corrupt table?)", tc, v))

@@ -113,29 +113,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v) //nolint:errcheck // the response is already committed
 }
 
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a JSON query to /count"})
-		return
-	}
+// maxCountBody bounds the /count request body: queries are a handful of
+// scalar fields; a megabyte bounds any honest request and stops hostile
+// bodies from buffering into server memory.
+const maxCountBody = 1 << 20
+
+// decodeCountRequest parses and validates a /count body into an engine
+// query. It is total: any input bytes produce either a valid query or a
+// descriptive error, never a panic — the property FuzzCountRequest checks.
+// An empty body is the all-defaults query (every field is optional).
+func decodeCountRequest(body io.Reader) (core.Query, *CountRequest, error) {
 	var req CountRequest
-	// Queries are a handful of scalar fields; a megabyte bounds any honest
-	// request and stops hostile bodies from buffering into server memory.
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		// io.EOF is an empty body: every field is optional, so that is
-		// simply the all-defaults query.
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("bad request body: %v", err)})
-		return
+	if err := dec.Decode(&req); err != nil {
+		if !errors.Is(err, io.EOF) {
+			return core.Query{}, nil, fmt.Errorf("bad request body: %w", err)
+		}
+	} else if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		// One JSON value is the whole request; trailing data is a malformed
+		// request, not something to silently ignore.
+		return core.Query{}, nil, fmt.Errorf("bad request body: trailing data after the query object")
 	}
 	strategy := core.Naive
 	if req.Strategy != "" {
 		var err error
 		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-			return
+			return core.Query{}, nil, err
 		}
 	}
 	if req.Samples == 0 {
@@ -147,26 +151,40 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	// Validate the query shape here so client mistakes answer 400; any
 	// error the engine itself returns past this point is a server fault.
 	if req.Samples < 1 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{fmt.Sprintf("samples must be ≥ 1, got %d", req.Samples)})
-		return
+		return core.Query{}, nil, fmt.Errorf("samples must be ≥ 1, got %d", req.Samples)
+	}
+	if req.Top < 0 {
+		return core.Query{}, nil, fmt.Errorf("top must be ≥ 0, got %d", req.Top)
 	}
 	if err := core.ValidateSampleWorkers(req.SampleWorkers); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
+		return core.Query{}, nil, err
 	}
 	if req.CoverThreshold != 0 {
 		if err := core.ValidateCoverThreshold(req.CoverThreshold); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-			return
+			return core.Query{}, nil, err
 		}
 	}
-	qres, err := s.eng.Count(r.Context(), core.Query{
+	return core.Query{
 		Strategy:       strategy,
 		Samples:        req.Samples,
 		CoverThreshold: req.CoverThreshold,
 		Seed:           req.Seed,
 		SampleWorkers:  req.SampleWorkers,
-	})
+	}, &req, nil
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a JSON query to /count"})
+		return
+	}
+	query, req, err := decodeCountRequest(http.MaxBytesReader(w, r.Body, maxCountBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	qres, err := s.eng.Count(r.Context(), query)
 	if err != nil {
 		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
 			// The client is gone; there is nobody to answer.
@@ -177,7 +195,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	s.samples.Add(int64(qres.Samples))
-	writeJSON(w, http.StatusOK, s.countResponse(strategy, req.Top, qres))
+	writeJSON(w, http.StatusOK, s.countResponse(query.Strategy, req.Top, qres))
 }
 
 // countResponse renders a query result with estimates in deterministic

@@ -181,3 +181,78 @@ func TestStatsAndHealth(t *testing.T) {
 		t.Errorf("POST /stats = %d, want 405", w.Code)
 	}
 }
+
+// TestCountRequestRejections is the table-driven hardening pass over the
+// /count decoder: malformed JSON, type confusion, unknown fields, and
+// out-of-range values must every one answer 400 with a descriptive error,
+// and an oversize body must be cut off by the MaxBytesReader bound.
+func TestCountRequestRejections(t *testing.T) {
+	srv, _, _ := testServer(t)
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error field
+	}{
+		{"truncated-json", `{"samples":`, "bad request body"},
+		{"not-json", `hello there`, "bad request body"},
+		{"wrong-type", `{"samples":"many"}`, "bad request body"},
+		{"unknown-field", `{"budget":5}`, "unknown field"},
+		{"bad-strategy", `{"strategy":"quantum"}`, `unknown strategy "quantum"`},
+		{"negative-samples", `{"samples":-3}`, "samples must be ≥ 1"},
+		{"negative-top", `{"top":-1}`, "top must be ≥ 0"},
+		{"bad-workers", `{"sampleWorkers":-1}`, "sample workers"},
+		{"huge-workers", `{"sampleWorkers":100000}`, "sample workers"},
+		{"bad-cover", `{"coverThreshold":-7}`, "cover threshold"},
+		{"trailing-garbage", `{} {"samples":1}`, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := doJSON(t, srv, http.MethodPost, "/count", tc.body, nil)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", w.Code, w.Body.String())
+			}
+			var resp struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("error response is not JSON: %s", w.Body.String())
+			}
+			if !strings.Contains(resp.Error, tc.want) {
+				t.Fatalf("error %q does not contain %q", resp.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestCountOversizeBody: a body beyond the 1 MiB bound must be rejected
+// without buffering it into memory or panicking.
+func TestCountOversizeBody(t *testing.T) {
+	srv, _, _ := testServer(t)
+	pad := strings.Repeat(" ", maxCountBody+512)
+	w := doJSON(t, srv, http.MethodPost, "/count", pad+`{"samples":10}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("oversize body answered %d, want 400", w.Code)
+	}
+}
+
+// TestCountEmptyBodyDefaults: an empty body is the all-defaults query
+// (naive, 100k samples, seed 1) and must succeed.
+func TestCountEmptyBodyDefaults(t *testing.T) {
+	srv, _, _ := testServer(t)
+	var resp CountResponse
+	w := doJSON(t, srv, http.MethodPost, "/count", "", &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("empty body status = %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Strategy != "naive" || resp.Samples != 100000 {
+		t.Fatalf("defaults not applied on empty body: %+v", resp)
+	}
+	// Partial bodies default the missing fields only.
+	w = doJSON(t, srv, http.MethodPost, "/count", `{"samples":200}`, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body.String())
+	}
+	if resp.Strategy != "naive" || resp.Samples != 200 {
+		t.Fatalf("defaults not applied: %+v", resp)
+	}
+}

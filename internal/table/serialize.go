@@ -15,17 +15,20 @@ import (
 // Persistent table format — the build-once / query-many half of the
 // storage engine. Motivo persists its count tables on disk so the
 // expensive build-up phase is paid once and amortized over many sampling
-// sessions (Section 3.3); this file is that format, version 2:
+// sessions (Section 3.3); this file is that format, version 3:
 //
-//	u32  magic "MvT2" (little-endian 0x4d765432)
-//	u32  version (2)
+//	u32  magic "MvT3" (little-endian 0x4d765433)
+//	u32  version (3)
 //	u32  k
-//	u32  flags (bit 0: zero-rooted; bit 1: coloring section present)
+//	u32  flags (bit 0: zero-rooted; bit 1: coloring section present;
+//	            bit 2: smart stars)
 //	u64  n (number of nodes)
 //	[coloring section, if flagged]
 //	  f64  PColorful (IEEE-754 bits)
 //	  n×u8 node colors
-//	[for each size h = 1..k]
+//	[smart-star section, if flagged]
+//	  n×k uvarint colored degrees d_c(v), node-major, color-minor
+//	[for each stored size h — 1..k, or 4..k when smart stars are on]
 //	  u64   arena length in bytes
 //	  n×i64 per-node start offsets (-1 = empty record)
 //	  arena bytes (packed records, the wire format of packed.go)
@@ -34,21 +37,44 @@ import (
 // in RAM, so opening a table is one sequential read per section straight
 // into the arena — no per-record decoding. The coloring travels with the
 // table because the counts are only meaningful under the coloring that
-// produced them (and the estimator needs its PColorful).
+// produced them (and the estimator needs its PColorful). A smart table
+// stores the colored-degree summaries instead of any star-family records
+// and no levels below size 4 at all (those are fully synthesized); the
+// summaries are cross-checked against the host graph at AttachGraph time,
+// so pairing a table with the wrong graph fails at open, not as silently
+// wrong counts.
+//
+// Version 2 ("MvT2") files — identical except for the magic, the version,
+// and the absence of the smart-star flag and section — still load.
 
 const (
-	fileMagic   = uint32(0x4d765432) // "MvT2"
-	fileVersion = uint32(2)
+	fileMagicV2 = uint32(0x4d765432) // "MvT2"
+	fileMagicV3 = uint32(0x4d765433) // "MvT3"
+	fileVersion = uint32(3)
 
 	flagZeroRooted  = 1 << 0
 	flagHasColoring = 1 << 1
+	flagSmartStars  = 1 << 2
 )
 
+// storedSizeMin returns the smallest treelet size the table stores levels
+// for: smart tables synthesize everything below minStoredSize.
+func (t *Table) storedSizeMin() int {
+	if t.smart != nil {
+		return minStoredSize
+	}
+	return 1
+}
+
 // Save serializes the table (and, when non-nil, its coloring) to w. It
-// returns the number of bytes written.
+// returns the number of bytes written. A smart table requires the coloring
+// (its synthesis state embeds the node colors).
 func Save(w io.Writer, t *Table, col *coloring.Coloring) (int64, error) {
 	if col != nil && len(col.Colors) != t.N {
 		return 0, fmt.Errorf("table: coloring covers %d nodes, table has %d", len(col.Colors), t.N)
+	}
+	if t.smart != nil && col == nil {
+		return 0, fmt.Errorf("table: a smart table must be saved with its coloring")
 	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var n int64
@@ -66,7 +92,10 @@ func Save(w io.Writer, t *Table, col *coloring.Coloring) (int64, error) {
 	if col != nil {
 		flags |= flagHasColoring
 	}
-	for _, v := range []uint32{fileMagic, fileVersion, uint32(t.K), flags} {
+	if t.smart != nil {
+		flags |= flagSmartStars
+	}
+	for _, v := range []uint32{fileMagicV3, fileVersion, uint32(t.K), flags} {
 		if err := write(v); err != nil {
 			return n, err
 		}
@@ -82,7 +111,17 @@ func Save(w io.Writer, t *Table, col *coloring.Coloring) (int64, error) {
 			return n, err
 		}
 	}
-	for h := 1; h <= t.K; h++ {
+	if t.smart != nil {
+		var buf []byte
+		for _, d := range t.smart.deg {
+			buf = binary.AppendUvarint(buf[:0], uint64(d))
+			if _, err := bw.Write(buf); err != nil {
+				return n, err
+			}
+			n += int64(len(buf))
+		}
+	}
+	for h := t.storedSizeMin(); h <= t.K; h++ {
 		lv := &t.levels[h]
 		if err := write(uint64(len(lv.arena))); err != nil {
 			return n, err
@@ -107,9 +146,11 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) { return Save(w, t, nil) }
 // keeps int(n) safe on 32-bit platforms).
 const maxLoadNodes = 1<<31 - 1
 
-// Load deserializes a table written by Save. The returned coloring is nil
-// when the file carries none. Every record is validated entry-by-entry, so
-// corruption surfaces here instead of as a panic mid-query.
+// Load deserializes a table written by Save — format version 3, or the
+// earlier version 2. The returned coloring is nil when the file carries
+// none. Every record is validated entry-by-entry, so corruption surfaces
+// here instead of as a panic mid-query. A loaded smart table must have its
+// host graph bound with AttachGraph before it can serve views.
 func Load(r io.Reader) (*Table, *coloring.Coloring, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	read := func(data any) error { return binary.Read(br, binary.LittleEndian, data) }
@@ -119,11 +160,15 @@ func Load(r io.Reader) (*Table, *coloring.Coloring, error) {
 			return nil, nil, fmt.Errorf("table: truncated header: %w", err)
 		}
 	}
-	if magic != fileMagic {
-		return nil, nil, fmt.Errorf("table: bad magic %#x (want %#x)", magic, fileMagic)
-	}
-	if version != fileVersion {
-		return nil, nil, fmt.Errorf("table: unsupported format version %d (want %d)", version, fileVersion)
+	switch {
+	case magic == fileMagicV3 && version == 3:
+	case magic == fileMagicV2 && version == 2:
+		if flags&flagSmartStars != 0 {
+			return nil, nil, fmt.Errorf("table: version-2 file declares smart stars")
+		}
+	default:
+		return nil, nil, fmt.Errorf("table: bad magic/version %#x/%d (want %#x/3 or %#x/2)",
+			magic, version, fileMagicV3, fileMagicV2)
 	}
 	var n64 uint64
 	if err := read(&n64); err != nil {
@@ -155,7 +200,24 @@ func Load(r io.Reader) (*Table, *coloring.Coloring, error) {
 			}
 		}
 	}
-	for h := 1; h <= k; h++ {
+	if flags&flagSmartStars != 0 {
+		if col == nil {
+			return nil, nil, fmt.Errorf("table: smart-star table carries no coloring section")
+		}
+		deg := make([]uint32, n*k)
+		for i := range deg {
+			d, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, nil, fmt.Errorf("table: smart-star degree section: %w", err)
+			}
+			if d >= uint64(n) {
+				return nil, nil, fmt.Errorf("table: implausible colored degree %d (n=%d)", d, n)
+			}
+			deg[i] = uint32(d)
+		}
+		t.setSmartFromFile(col.Colors, deg)
+	}
+	for h := t.storedSizeMin(); h <= k; h++ {
 		var alen uint64
 		if err := read(&alen); err != nil {
 			return nil, nil, fmt.Errorf("table: level %d header: %w", h, err)

@@ -44,8 +44,8 @@ func equalTables(t *testing.T, a, b *Table) {
 				t.Fatalf("h=%d v=%d length mismatch", h, v)
 			}
 			for i := 0; i < ra.Len(); i++ {
-				ka, ca := ra.At(i)
-				kb, cb := rb.At(i)
+				ka, ca := ra.Packed().At(i)
+				kb, cb := rb.Packed().At(i)
 				if ka != kb || ca != cb {
 					t.Fatalf("h=%d v=%d entry %d mismatch", h, v, i)
 				}

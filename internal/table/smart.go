@@ -1,0 +1,360 @@
+package table
+
+// Smart stars (paper, Section 3.2 "smart stars"): star-shaped treelets have
+// closed-form colorful counts — the star S_h rooted at its center v with
+// color set C has exactly ∏_{c ∈ C\{col(v)}} d_c(v) colorful copies, where
+// d_c(v) is v's c-colored degree. Materializing those records through the
+// dynamic program wastes both build time and table bytes, so a smart table
+// never stores them: it keeps one compact colored-degree summary per node
+// (k small counters) and synthesizes star records on demand behind the same
+// View interface the samplers already read through.
+//
+// This implementation closes the family under one more level: every rooted
+// treelet of height ≤ 2 ("stars of stars" — a root whose child subtrees are
+// all stars) is synthesizable from the degree summaries alone, because
+// disjoint color sets make the child choices independent:
+//
+//	c(T_C, v) = Σ_{ {C_1,…,C_p} partition of C\{col v} }  ∏_i w_v(C_i)
+//	w_v(C')   = Σ_{u ~ v, col(u) ∈ C'}  ∏_{c ∈ C'\{col u}} d_c(u)
+//
+// where the partition parts match the child star sizes and parts assigned
+// to identical child shapes are taken unordered (which is exactly the β_T
+// correction of the DP, performed combinatorially instead of by division).
+// Distinctness of all k nodes is guaranteed by the disjoint colors, the
+// same argument the color-coding DP rests on, so the synthesized counts are
+// entry-identical to what the DP would have materialized.
+//
+// Height ≤ 2 covers every treelet of size ≤ 3, so a smart table stores no
+// levels below size 4 at all — no arenas, no offset indexes — and levels
+// ≥ 4 store only the height-≥ 3 shapes. On the ER benchmark graph at k=6
+// this cuts total table bytes by ~2.7x (see TestSmartStarsTableBytes).
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/coloring"
+	"repro/internal/graph"
+	"repro/internal/treelet"
+	"repro/internal/u128"
+)
+
+// maxSynthHeight is the largest rooted-treelet height the degree summaries
+// can synthesize: 0 (leaf), 1 (star at its center), 2 (star of stars).
+const maxSynthHeight = 2
+
+// minStoredSize is the smallest treelet size with any materialized shape:
+// every rooted tree on ≤ 3 nodes has height ≤ 2, so smart tables store no
+// level below it.
+const minStoredSize = 4
+
+// starGroup is one run of identical star-shaped child subtrees of a
+// synthesized shape's root: mult children of size nodes each.
+type starGroup struct {
+	size int
+	mult int
+}
+
+// synthShape is one synthesized (height ≤ 2) rooted treelet shape: its code
+// and the star sizes of its child subtrees, grouped by multiplicity in
+// canonical (ascending size) order.
+type synthShape struct {
+	t      treelet.Treelet
+	groups []starGroup
+}
+
+// smartState is the synthesis machinery of a smart table: the graph, the
+// node colors, the packed colored-degree summaries, and the synthesized
+// shape directory per treelet size. All fields are immutable once attached,
+// so Views over a smart table stay safe for concurrent readers.
+type smartState struct {
+	g      *graph.Graph // nil between Load and AttachGraph
+	colors []uint8
+	deg    []uint32 // deg[v*k+c] = number of neighbors of v with color c
+
+	synth    [][]synthShape // synth[h]: synthesized shapes of size h, code order
+	synthSet map[treelet.Treelet]*synthShape
+}
+
+// SmartStars reports whether the table synthesizes star-family records from
+// colored-degree summaries instead of storing them.
+func (t *Table) SmartStars() bool { return t.smart != nil }
+
+// GraphAttached reports whether a smart table has its host graph bound (a
+// freshly loaded table does not, until AttachGraph).
+func (t *Table) GraphAttached() bool { return t.smart != nil && t.smart.g != nil }
+
+// colorDegrees computes the per-node colored-degree summary of g under
+// colors: k counters per node.
+func colorDegrees(g *graph.Graph, colors []uint8, k int) []uint32 {
+	deg := make([]uint32, g.NumNodes()*k)
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		row := deg[int(v)*k : int(v)*k+k]
+		for _, u := range g.Neighbors(v) {
+			row[colors[u]]++
+		}
+	}
+	return deg
+}
+
+// newSmartState builds the immutable synthesis directory for size k.
+func newSmartState(k int) *smartState {
+	cat := treelet.NewCatalog(k)
+	s := &smartState{
+		synth:    make([][]synthShape, k+1),
+		synthSet: make(map[treelet.Treelet]*synthShape),
+	}
+	for h := 1; h <= k; h++ {
+		for _, t := range cat.BySize[h] {
+			if cat.Height(t) > maxSynthHeight {
+				continue
+			}
+			sh := synthShape{t: t}
+			for _, c := range t.Children() {
+				n := c.Size()
+				if m := len(sh.groups); m > 0 && sh.groups[m-1].size == n {
+					sh.groups[m-1].mult++
+				} else {
+					sh.groups = append(sh.groups, starGroup{size: n, mult: 1})
+				}
+			}
+			s.synth[h] = append(s.synth[h], sh)
+		}
+		for i := range s.synth[h] {
+			s.synthSet[s.synth[h][i].t] = &s.synth[h][i]
+		}
+	}
+	return s
+}
+
+// EnableSmartStars switches a freshly created table into smart mode: star
+// and star-of-stars records are synthesized from colored-degree summaries
+// of g under col, and levels below minStoredSize are never stored. It must
+// be called before any record is installed (the build phase calls it right
+// after New).
+func (t *Table) EnableSmartStars(g *graph.Graph, col *coloring.Coloring) error {
+	if col == nil || col.K != t.K {
+		return fmt.Errorf("table: smart stars need a %d-coloring", t.K)
+	}
+	if g.NumNodes() != t.N || len(col.Colors) != t.N {
+		return fmt.Errorf("table: smart stars: graph has %d nodes, coloring %d, table %d",
+			g.NumNodes(), len(col.Colors), t.N)
+	}
+	for h := 1; h <= t.K; h++ {
+		if len(t.levels[h].arena) > 0 {
+			return fmt.Errorf("table: EnableSmartStars on a table with stored records")
+		}
+	}
+	s := newSmartState(t.K)
+	s.g = g
+	s.colors = col.Colors
+	s.deg = colorDegrees(g, col.Colors, t.K)
+	t.smart = s
+	for h := 1; h <= t.K && h < minStoredSize; h++ {
+		t.levels[h] = level{} // fully synthetic: no arena, no offset index
+	}
+	return nil
+}
+
+// setSmartFromFile installs the smart state of a loaded table: colors and
+// degree summaries come from the file; the graph arrives later through
+// AttachGraph (which cross-checks the summaries against it).
+func (t *Table) setSmartFromFile(colors []uint8, deg []uint32) {
+	s := newSmartState(t.K)
+	s.colors = colors
+	s.deg = deg
+	t.smart = s
+	for h := 1; h <= t.K && h < minStoredSize; h++ {
+		t.levels[h] = level{}
+	}
+}
+
+// AttachGraph binds the host graph to a smart table loaded from disk.
+// Synthesis walks adjacency, so a smart table cannot serve queries until
+// the graph is attached; the stored degree summaries are verified against
+// the graph, which catches a table paired with the wrong graph (or the
+// wrong node order) at open time instead of as silently wrong counts.
+func (t *Table) AttachGraph(g *graph.Graph) error {
+	if t.smart == nil {
+		return nil
+	}
+	if g.NumNodes() != t.N {
+		return fmt.Errorf("table: graph has %d nodes, table %d", g.NumNodes(), t.N)
+	}
+	want := colorDegrees(g, t.smart.colors, t.K)
+	for i, d := range want {
+		if t.smart.deg[i] != d {
+			return fmt.Errorf("table: colored-degree summary of node %d disagrees with the graph (wrong graph for this table?)", i/t.K)
+		}
+	}
+	t.smart.g = g
+	return nil
+}
+
+// synthesized reports whether shape records are synthesized rather than
+// stored (smart tables only; the shape must belong to the catalog).
+func (t *Table) synthesized(shape treelet.Treelet) bool {
+	if t.smart == nil {
+		return false
+	}
+	_, ok := t.smart.synthSet[shape]
+	return ok
+}
+
+// --- the closed-form counts -------------------------------------------------
+
+// SynthCache memoizes the neighbor-sum terms w_v(C') of star synthesis.
+// The terms depend only on the (immutable) colored-degree summaries, so
+// cached values never go stale; the cache exists because the build DP and
+// the sampling descent ask for the same (v, C') many times. A cache must
+// not be shared across goroutines — each build worker and each Urn owns
+// one, mirroring how the urn's neighbor buffers are goroutine-local.
+type SynthCache struct {
+	m map[uint64]u128.Uint128
+}
+
+// NewSynthCache returns an empty cache.
+func NewSynthCache() *SynthCache {
+	return &SynthCache{m: make(map[uint64]u128.Uint128)}
+}
+
+// degOf returns d_c(v).
+func (s *smartState) degOf(k int, v int32, c uint8) uint32 { return s.deg[int(v)*k+int(c)] }
+
+// wv computes w_v(C') = Σ_{u~v, col(u)∈C'} ∏_{c∈C'\{col u}} d_c(u): the
+// number of colorful stars with color set C' centered at a neighbor of v.
+// For singleton C' this is just d_c(v) — no neighbor sweep.
+func (s *smartState) wv(k int, v int32, cs treelet.ColorSet, cache *SynthCache) u128.Uint128 {
+	if cs.Card() == 1 {
+		return u128.From64(uint64(s.degOf(k, v, uint8(bits.TrailingZeros16(uint16(cs))))))
+	}
+	var key uint64
+	if cache != nil {
+		key = uint64(uint32(v))<<treelet.ColorBits | uint64(cs)
+		if val, ok := cache.m[key]; ok {
+			return val
+		}
+	}
+	total := u128.Zero
+	for _, u := range s.g.Neighbors(v) {
+		cu := s.colors[u]
+		if !cs.Has(cu) {
+			continue
+		}
+		prod := u128.One
+		rest := cs &^ treelet.Singleton(cu)
+		for rest != 0 {
+			c := uint8(bits.TrailingZeros16(uint16(rest)))
+			rest &= rest - 1
+			d := s.degOf(k, u, c)
+			if d == 0 {
+				prod = u128.Zero
+				break
+			}
+			prod = prod.Mul64(uint64(d))
+		}
+		total = total.Add(prod)
+	}
+	if cache != nil {
+		cache.m[key] = total
+	}
+	return total
+}
+
+// assign sums ∏_i w_v(C_i) over all unordered partitions of avail into
+// parts matching the remaining child-star groups.
+func (s *smartState) assign(k int, v int32, groups []starGroup, avail treelet.ColorSet, cache *SynthCache) u128.Uint128 {
+	if len(groups) == 0 {
+		if avail == 0 {
+			return u128.One
+		}
+		return u128.Zero
+	}
+	return s.pick(k, v, groups, avail, 0, groups[0].mult, cache)
+}
+
+// pick chooses the next part for the current group: parts of one group are
+// enumerated in strictly increasing mask order, which counts each unordered
+// selection of identical child shapes exactly once (the combinatorial form
+// of the DP's β_T division).
+func (s *smartState) pick(k int, v int32, groups []starGroup, avail, min treelet.ColorSet, left int, cache *SynthCache) u128.Uint128 {
+	if left == 0 {
+		return s.assign(k, v, groups[1:], avail, cache)
+	}
+	total := u128.Zero
+	subsetsAsc(avail, groups[0].size, func(part treelet.ColorSet) {
+		if part <= min {
+			return
+		}
+		w := s.wv(k, v, part, cache)
+		if w.IsZero() {
+			return
+		}
+		rest := s.pick(k, v, groups, avail&^part, part, left-1, cache)
+		if !rest.IsZero() {
+			total = total.Add(w.Mul(rest))
+		}
+	})
+	return total
+}
+
+// synthCount computes the synthesized c(T_C, v) for a height-≤2 shape.
+func (s *smartState) synthCount(k int, v int32, sh *synthShape, cs treelet.ColorSet, cache *SynthCache) u128.Uint128 {
+	own := treelet.Singleton(s.colors[v])
+	if cs&own == 0 || cs.Card() != sh.t.Size() {
+		return u128.Zero
+	}
+	return s.assign(k, v, sh.groups, cs&^own, cache)
+}
+
+// synthShapeEach enumerates the synthesized entries of one shape at node v
+// in ascending color-set order, calling fn for every nonzero count; fn
+// returns false to stop early. The return value reports whether the walk
+// ran to completion.
+func (s *smartState) synthShapeEach(k int, v int32, sh *synthShape, cache *SynthCache, fn func(treelet.Colored, u128.Uint128) bool) bool {
+	own := treelet.Singleton(s.colors[v])
+	avail := ((treelet.ColorSet(1) << k) - 1) &^ own
+	done := true
+	subsetsAsc(avail, sh.t.Size()-1, func(rest treelet.ColorSet) {
+		if !done {
+			return
+		}
+		cnt := s.assign(k, v, sh.groups, rest, cache)
+		if cnt.IsZero() {
+			return
+		}
+		if !fn(treelet.MakeColored(sh.t, rest|own), cnt) {
+			done = false
+		}
+	})
+	return done
+}
+
+// subsetsAsc enumerates the size-n subsets of mask in ascending numeric
+// order: the largest chosen bit ascends in the outer position, recursively.
+func subsetsAsc(mask treelet.ColorSet, n int, fn func(treelet.ColorSet)) {
+	if n == 0 {
+		fn(0)
+		return
+	}
+	var posns [treelet.ColorBits]uint8
+	m := 0
+	for rest := mask; rest != 0; rest &= rest - 1 {
+		posns[m] = uint8(bits.TrailingZeros16(uint16(rest)))
+		m++
+	}
+	combosAsc(posns[:m], n, 0, fn)
+}
+
+// combosAsc yields size-n bit combinations of the ascending positions list,
+// each OR-ed with acc, in ascending numeric order.
+func combosAsc(posns []uint8, n int, acc treelet.ColorSet, fn func(treelet.ColorSet)) {
+	if n == 0 {
+		fn(acc)
+		return
+	}
+	for i := n - 1; i < len(posns); i++ {
+		top := treelet.ColorSet(1) << posns[i]
+		combosAsc(posns[:i], n-1, acc|top, fn)
+	}
+}

@@ -16,8 +16,15 @@
 //
 // exactly the primitive set of the paper, traded down from the dense
 // cumulative-array layout to ~4x less memory. Records are immutable once a
-// level is installed; readers take Record views (plain value types into
-// the arena) and queries allocate nothing.
+// level is installed; readers take View/Record values (plain value types
+// into the arena) and queries allocate nothing on the materialized paths.
+//
+// A smart table (see smart.go) additionally synthesizes every star-family
+// record (rooted treelets of height ≤ 2) on the fly from per-node
+// colored-degree summaries: those shapes occupy zero arena bytes, and the
+// View merges the synthesized entries into the stored ones behind the same
+// interface, in the same sorted key order, with the same counts the DP
+// would have produced.
 package table
 
 import (
@@ -28,7 +35,8 @@ import (
 )
 
 // level is one size level of the table: an arena of packed records plus
-// the per-node offset index (-1 marks an empty record).
+// the per-node offset index (-1 marks an empty record). Fully synthetic
+// levels of a smart table are zero-valued: no arena, no index.
 type level struct {
 	arena  []byte
 	starts []int64
@@ -37,12 +45,14 @@ type level struct {
 // Table is the complete treelet count table of a colored graph: one packed
 // record per node per size 1..K. With ZeroRooted set, size-K records exist
 // only at color-0 nodes (Section 3.2), each unrooted size-K copy counted
-// exactly once.
+// exactly once. With smart stars enabled, height-≤2 shapes are synthesized
+// (smart.go) and only height-≥3 shapes are stored.
 type Table struct {
 	K          int
 	N          int
 	ZeroRooted bool
 	levels     []level // levels[h], index 0 unused
+	smart      *smartState
 }
 
 // New allocates an empty table for n nodes and treelets up to size k.
@@ -62,31 +72,45 @@ func emptyLevel(n int) level {
 	return level{starts: starts}
 }
 
-// Rec returns the packed record view of node v at size h (the zero Record
-// if the node has none). Views stay valid as long as the level is not
-// replaced.
-func (t *Table) Rec(h int, v int32) Record {
+// topLevelSkip reports whether (h, v) is excluded by 0-rooting: the size-K
+// level exists only at color-0 nodes. Stored records respect this by
+// construction; the synthesis path must apply the same rule.
+func (t *Table) topLevelSkip(h int, v int32) bool {
+	return t.smart != nil && t.ZeroRooted && h == t.K && t.smart.colors[v] != 0
+}
+
+// Rec returns the record view of node v at size h: the stored packed
+// record merged with any synthesized star-family entries. Views stay valid
+// as long as the level is not replaced and (for smart tables) are only
+// usable once the graph is attached.
+func (t *Table) Rec(h int, v int32) View {
+	vw := View{t: t, h: h, v: v}
 	lv := &t.levels[h]
-	off := lv.starts[v]
-	if off < 0 {
-		return Record{}
+	if lv.starts != nil {
+		if off := lv.starts[v]; off >= 0 {
+			r, err := ViewRecord(lv.arena[off:])
+			if err != nil {
+				panic(fmt.Sprintf("table: corrupt record h=%d v=%d: %v", h, v, err))
+			}
+			vw.rec = r
+		}
 	}
-	r, err := ViewRecord(lv.arena[off:])
-	if err != nil {
-		panic(fmt.Sprintf("table: corrupt record h=%d v=%d: %v", h, v, err))
-	}
-	return r
+	return vw
 }
 
 // SetRec encodes p as the record of node v at size h, appending it to the
 // level arena. It is a sequential builder API (levelOne, tests); the
 // concurrent build pass goes through LevelWriter instead. Setting an
-// already-set record is a programming error.
+// already-set record, or storing into a fully synthetic level of a smart
+// table, is a programming error.
 func (t *Table) SetRec(h int, v int32, p *Pairs) {
 	if p.Len() == 0 {
 		return
 	}
 	lv := &t.levels[h]
+	if lv.starts == nil {
+		panic(fmt.Sprintf("table: SetRec on fully synthetic level %d of a smart table", h))
+	}
 	if lv.starts[v] >= 0 {
 		panic(fmt.Sprintf("table: record h=%d v=%d set twice", h, v))
 	}
@@ -101,6 +125,9 @@ func (t *Table) SetRec(h int, v int32, p *Pairs) {
 func (t *Table) SetLevel(h int, arena []byte, starts []int64) error {
 	if len(starts) != t.N {
 		return fmt.Errorf("table: level %d has %d offsets, table has %d nodes", h, len(starts), t.N)
+	}
+	if t.smart != nil && h < minStoredSize {
+		return fmt.Errorf("table: level %d of a smart table is fully synthetic", h)
 	}
 	compact := make([]byte, 0, len(arena))
 	newStarts := make([]int64, t.N)
@@ -141,31 +168,61 @@ func (t *Table) ShapeTotals(cat *treelet.Catalog) map[treelet.Treelet]u128.Uint1
 	for _, u := range cat.UnrootedK {
 		out[u] = u128.Zero
 	}
+	cache := NewSynthCache() // local to this pass, so the walk stays concurrency-safe
 	for v := int32(0); int(v) < t.N; v++ {
-		r := t.Rec(t.K, v)
-		c := r.Cursor(0)
-		for i := 0; i < r.Len(); i++ {
-			key, cnt := c.Next()
+		t.Rec(t.K, v).WithCache(cache).Each(func(key treelet.Colored, cnt u128.Uint128) bool {
 			shape := cat.Unrooted(key.Tree())
 			out[shape] = out[shape].Add(cnt)
-		}
+			return true
+		})
 	}
 	return out
 }
 
-// Bytes returns the storage footprint of the table: the packed arenas plus
-// the per-(size, node) offset index (8 bytes per node per level).
+// Bytes returns the storage footprint of the table: the packed arenas, the
+// per-(size, node) offset indexes (8 bytes per node per stored level), and
+// — for smart tables — the colored-degree summaries and node colors the
+// synthesis runs on. Fully synthetic levels cost nothing.
 func (t *Table) Bytes() int64 {
 	var b int64
 	for h := 1; h <= t.K; h++ {
 		b += int64(len(t.levels[h].arena))
 		b += int64(8 * len(t.levels[h].starts))
 	}
+	if t.smart != nil {
+		b += int64(4*len(t.smart.deg)) + int64(len(t.smart.colors))
+	}
 	return b
 }
 
-// Pairs returns the total number of (key, count) pairs stored.
+// Pairs returns the total number of (key, count) pairs physically stored.
+// Synthesized entries are not counted: they occupy no bytes, which is the
+// point of smart stars (LogicalPairs counts them too).
 func (t *Table) Pairs() int64 {
+	var p int64
+	for h := 1; h <= t.K; h++ {
+		lv := &t.levels[h]
+		for _, off := range lv.starts {
+			if off < 0 {
+				continue
+			}
+			r, err := ViewRecord(lv.arena[off:])
+			if err != nil {
+				panic(fmt.Sprintf("table: corrupt record: %v", err))
+			}
+			p += int64(r.Len())
+		}
+	}
+	return p
+}
+
+// LogicalPairs returns the number of (key, count) pairs the table serves,
+// synthesized entries included — equal to Pairs on a materialized table.
+// The graph must be attached on smart tables.
+func (t *Table) LogicalPairs() int64 {
+	if t.smart == nil {
+		return t.Pairs()
+	}
 	var p int64
 	for h := 1; h <= t.K; h++ {
 		for v := int32(0); int(v) < t.N; v++ {
@@ -175,12 +232,17 @@ func (t *Table) Pairs() int64 {
 	return p
 }
 
-// Validate walks every record of every level checking entry-level
-// integrity — the deep check load paths run on untrusted bytes.
+// Validate walks every stored record of every level checking entry-level
+// integrity — the deep check load paths run on untrusted bytes. On smart
+// tables it additionally rejects stored entries of synthesized shapes
+// (those must never be materialized) and stored fully-synthetic levels.
 func (t *Table) Validate() error {
 	for h := 1; h <= t.K; h++ {
-		for v := int32(0); int(v) < t.N; v++ {
-			lv := &t.levels[h]
+		lv := &t.levels[h]
+		if t.smart != nil && h < minStoredSize && lv.starts != nil {
+			return fmt.Errorf("table: smart table stores fully synthetic level %d", h)
+		}
+		for v := 0; v < len(lv.starts); v++ {
 			off := lv.starts[v]
 			if off < 0 {
 				continue
@@ -195,7 +257,256 @@ func (t *Table) Validate() error {
 			if err := r.Validate(); err != nil {
 				return fmt.Errorf("table: level %d record %d: %w", h, v, err)
 			}
+			if t.smart != nil {
+				c := r.Cursor(0)
+				for i := 0; i < r.Len(); i++ {
+					key, _ := c.Next()
+					if t.synthesized(key.Tree()) {
+						return fmt.Errorf("table: level %d record %d stores synthesized shape %v", h, v, key.Tree())
+					}
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// --- View: the merged stored + synthesized record ---------------------------
+
+// View is the read interface over one (size, node) record: the packed
+// stored entries merged, in sorted key order, with any star-family entries
+// synthesized from the colored-degree summaries. On a materialized table a
+// View is a thin wrapper over the packed Record and costs nothing extra.
+// The zero View is empty. Views are value types and safe to copy; a View of
+// a smart table must not outlive AttachGraph-time state changes (there are
+// none after construction).
+type View struct {
+	t     *Table
+	h     int
+	v     int32
+	rec   Record
+	cache *SynthCache
+}
+
+// WithCache returns the view with a synthesis memo attached: neighbor-sum
+// terms of synthesized counts are looked up in (and added to) cache. The
+// cache must be owned by the calling goroutine.
+func (vw View) WithCache(c *SynthCache) View {
+	vw.cache = c
+	return vw
+}
+
+// Packed exposes the stored packed record of the view (empty on fully
+// synthetic levels) — the codec-level escape hatch used by tests and
+// storage accounting.
+func (vw View) Packed() Record { return vw.rec }
+
+// synthetic returns the synthesized shapes of the view's size, or nil when
+// nothing is synthesized at (h, v) — materialized table, detached state, or
+// a node excluded by 0-rooting.
+func (vw View) synthetic() []synthShape {
+	if vw.t == nil || vw.t.smart == nil {
+		return nil
+	}
+	if vw.t.topLevelSkip(vw.h, vw.v) {
+		return nil
+	}
+	return vw.t.smart.synth[vw.h]
+}
+
+// Each calls fn for every entry of the view in ascending key order —
+// synthesized entries merged into stored ones — until fn returns false.
+func (vw View) Each(fn func(treelet.Colored, u128.Uint128) bool) {
+	syn := vw.synthetic()
+	if len(syn) == 0 {
+		c := vw.rec.Cursor(0)
+		for i := 0; i < vw.rec.Len(); i++ {
+			k, cnt := c.Next()
+			if !fn(k, cnt) {
+				return
+			}
+		}
+		return
+	}
+	s := vw.t.smart
+	c := vw.rec.Cursor(0)
+	n, pi := vw.rec.Len(), 0
+	var (
+		pk   treelet.Colored
+		pc   u128.Uint128
+		have bool
+	)
+	advance := func() {
+		if pi < n {
+			pk, pc = c.Next()
+			pi++
+			have = true
+		} else {
+			have = false
+		}
+	}
+	advance()
+	for si := range syn {
+		// Stored entries sorting before the next synthesized shape (stored
+		// records never contain a synthesized shape — Validate enforces it).
+		bound := treelet.MakeColored(syn[si].t, 0)
+		for have && pk < bound {
+			if !fn(pk, pc) {
+				return
+			}
+			advance()
+		}
+		if !s.synthShapeEach(vw.t.K, vw.v, &syn[si], vw.cache, fn) {
+			return
+		}
+	}
+	for have {
+		if !fn(pk, pc) {
+			return
+		}
+		advance()
+	}
+}
+
+// Len returns the number of entries the view serves (synthesized included;
+// it walks the synthesized shapes, so prefer Each where iteration is the
+// goal anyway).
+func (vw View) Len() int {
+	n := vw.rec.Len()
+	for _, sh := range vw.synthetic() {
+		s := vw.t.smart
+		s.synthShapeEach(vw.t.K, vw.v, &sh, vw.cache, func(treelet.Colored, u128.Uint128) bool {
+			n++
+			return true
+		})
+	}
+	return n
+}
+
+// Total returns occ(v): the total count over stored and synthesized
+// entries. O(1) on materialized tables.
+func (vw View) Total() u128.Uint128 {
+	tot := vw.rec.Total()
+	for _, sh := range vw.synthetic() {
+		s := vw.t.smart
+		s.synthShapeEach(vw.t.K, vw.v, &sh, vw.cache, func(_ treelet.Colored, cnt u128.Uint128) bool {
+			tot = tot.Add(cnt)
+			return true
+		})
+	}
+	return tot
+}
+
+// Count returns occ(T_C, v) for one colored treelet, or zero if absent.
+func (vw View) Count(key treelet.Colored) u128.Uint128 {
+	if vw.t != nil && vw.t.synthesized(key.Tree()) {
+		syn := vw.synthetic()
+		if syn == nil {
+			return u128.Zero
+		}
+		return vw.t.smart.synthCount(vw.t.K, vw.v, vw.t.smart.synthSet[key.Tree()], key.Colors(), vw.cache)
+	}
+	return vw.rec.Count(key)
+}
+
+// ShapeTotal returns the total count over all colorings of shape t.
+func (vw View) ShapeTotal(t treelet.Treelet) u128.Uint128 {
+	if vw.t != nil && vw.t.synthesized(t) {
+		tot := u128.Zero
+		syn := vw.synthetic()
+		if syn == nil {
+			return tot
+		}
+		vw.t.smart.synthShapeEach(vw.t.K, vw.v, vw.t.smart.synthSet[t], vw.cache, func(_ treelet.Colored, cnt u128.Uint128) bool {
+			tot = tot.Add(cnt)
+			return true
+		})
+		return tot
+	}
+	return vw.rec.ShapeTotal(t)
+}
+
+// ShapeEach calls fn for every entry of shape t in ascending color-set
+// order — the iter(T, v) primitive — until fn returns false.
+func (vw View) ShapeEach(t treelet.Treelet, fn func(treelet.Colored, u128.Uint128) bool) {
+	if vw.t != nil && vw.t.synthesized(t) {
+		if vw.synthetic() == nil {
+			return
+		}
+		vw.t.smart.synthShapeEach(vw.t.K, vw.v, vw.t.smart.synthSet[t], vw.cache, fn)
+		return
+	}
+	lo, hi := vw.rec.ShapeRange(t)
+	c := vw.rec.Cursor(lo)
+	for i := lo; i < hi; i++ {
+		k, cnt := c.Next()
+		if !fn(k, cnt) {
+			return
+		}
+	}
+}
+
+// AppendPairs decodes the whole view into p (appending; call p.Reset first
+// to replace) — the build phase's bulk read path.
+func (vw View) AppendPairs(p *Pairs) {
+	vw.Each(func(k treelet.Colored, cnt u128.Uint128) bool {
+		p.Append(k, cnt)
+		return true
+	})
+}
+
+// Sample draws a key with probability proportional to its count — the
+// sample(v) primitive. It consumes exactly one u128.RandN from rng whether
+// entries are stored or synthesized, so smart and materialized tables of
+// the same graph produce identical draw sequences at equal seed. It panics
+// on an empty view.
+func (vw View) Sample(rng u128.RandSource) treelet.Colored {
+	if len(vw.synthetic()) == 0 {
+		return vw.rec.Sample(rng)
+	}
+	total := vw.Total()
+	if total.IsZero() {
+		panic("table: Sample on empty record")
+	}
+	rv := u128.RandN(rng, total).Add64(1)
+	return vw.keyAtCumGE(rv)
+}
+
+// SampleShape draws a key of shape t with probability proportional to its
+// count — the restricted sample AGS's sample(T) primitive uses. Like
+// Sample, it consumes exactly one u128.RandN regardless of storage mode.
+func (vw View) SampleShape(rng u128.RandSource, t treelet.Treelet) treelet.Colored {
+	if vw.t != nil && vw.t.synthesized(t) {
+		span := vw.ShapeTotal(t)
+		if span.IsZero() {
+			panic("table: SampleShape on empty shape")
+		}
+		rv := u128.RandN(rng, span).Add64(1)
+		cum := u128.Zero
+		var key treelet.Colored
+		vw.t.smart.synthShapeEach(vw.t.K, vw.v, vw.t.smart.synthSet[t], vw.cache, func(k treelet.Colored, cnt u128.Uint128) bool {
+			key = k
+			cum = cum.Add(cnt)
+			return cum.Cmp(rv) < 0
+		})
+		return key
+	}
+	lo, hi := vw.rec.ShapeRange(t)
+	if lo >= hi {
+		panic("table: SampleShape on empty shape")
+	}
+	return vw.rec.SampleRange(rng, lo, hi)
+}
+
+// keyAtCumGE returns the key of the first merged entry whose cumulative
+// count reaches rv.
+func (vw View) keyAtCumGE(rv u128.Uint128) treelet.Colored {
+	cum := u128.Zero
+	var key treelet.Colored
+	vw.Each(func(k treelet.Colored, cnt u128.Uint128) bool {
+		key = k
+		cum = cum.Add(cnt)
+		return cum.Cmp(rv) < 0
+	})
+	return key
 }

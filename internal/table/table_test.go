@@ -185,7 +185,7 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 128-bit counts survive.
-	if _, cnt := tab.Rec(1, 3).At(0); cnt != (u128.Uint128{Hi: 2, Lo: 3}) {
+	if _, cnt := tab.Rec(1, 3).Packed().At(0); cnt != (u128.Uint128{Hi: 2, Lo: 3}) {
 		t.Fatalf("hi bits lost: %v", cnt)
 	}
 	if tab.Rec(1, 0).Len() != p0.Len() {
@@ -211,7 +211,7 @@ func TestTableAccounting(t *testing.T) {
 	}
 	// Packed accounting: the single record (≈ a dozen bytes) plus the
 	// 8-byte-per-node-per-level offset index.
-	rec := tab.Rec(2, 0)
+	rec := tab.Rec(2, 0).Packed()
 	want := rec.Bytes() + 8*3*2
 	if tab.Bytes() != want {
 		t.Errorf("Bytes = %d, want %d", tab.Bytes(), want)

@@ -18,6 +18,7 @@ type Catalog struct {
 	firstChild map[Treelet]Treelet
 	rest       map[Treelet]Treelet
 	beta       map[Treelet]int
+	height     map[Treelet]int
 	unrooted   map[Treelet]Treelet
 	rootings   map[Treelet][]Treelet
 
@@ -38,10 +39,12 @@ func NewCatalog(k int) *Catalog {
 		firstChild: make(map[Treelet]Treelet),
 		rest:       make(map[Treelet]Treelet),
 		beta:       make(map[Treelet]int),
+		height:     make(map[Treelet]int),
 		unrooted:   make(map[Treelet]Treelet),
 		rootings:   make(map[Treelet][]Treelet),
 	}
 	c.BySize[1] = []Treelet{Leaf}
+	c.height[Leaf] = 0
 	for s := 2; s <= k; s++ {
 		var ts []Treelet
 		for spp := 1; spp < s; spp++ {
@@ -61,6 +64,13 @@ func NewCatalog(k int) *Catalog {
 			c.firstChild[t] = first
 			c.rest[t] = rest
 			c.beta[t] = t.Beta()
+			// Merge attaches first as a new child of rest's root, so the
+			// height recurrence reuses the two cached sub-heights.
+			h := c.height[first] + 1
+			if rh := c.height[rest]; rh > h {
+				h = rh
+			}
+			c.height[t] = h
 		}
 	}
 	seen := make(map[Treelet]bool)
@@ -86,6 +96,9 @@ func (c *Catalog) Rest(t Treelet) Treelet { return c.rest[t] }
 
 // Beta returns βT.
 func (c *Catalog) Beta(t Treelet) int { return c.beta[t] }
+
+// Height returns the cached Treelet.Height of a catalog treelet.
+func (c *Catalog) Height(t Treelet) int { return c.height[t] }
 
 // Unrooted returns the unrooted canonical shape of a size-k rooted treelet.
 func (c *Catalog) Unrooted(t Treelet) Treelet { return c.unrooted[t] }

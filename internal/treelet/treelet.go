@@ -118,6 +118,59 @@ func (t Treelet) Beta() int {
 	return beta
 }
 
+// Height returns the depth of the deepest node below the root: 0 for the
+// leaf, 1 for stars rooted at their center, 2 for "stars of stars" —
+// exactly the families whose colorful counts are closed-form functions of
+// colored degrees (the smart-star synthesis of table/smart.go).
+func (t Treelet) Height() int {
+	h := 0
+	for rest := t; rest != Leaf; {
+		var c Treelet
+		c, rest = rest.Decomp()
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// IsStar reports whether t is a star rooted at its center: every child of
+// the root is a leaf (the single-node treelet counts as the trivial star).
+// Per size there is exactly one such code, and it is the smallest treelet
+// code of its size, so star entries always lead a sorted record.
+func (t Treelet) IsStar() bool { return t.Height() <= 1 }
+
+// Star returns the size-n star rooted at its center (n ≥ 1).
+func Star(n int) Treelet {
+	t := Leaf
+	for i := 1; i < n; i++ {
+		t = Merge(t, Leaf)
+	}
+	return t
+}
+
+// StarCenter identifies the center of a star-shaped treelet: the DFS index
+// of the unique node all others attach to, under the treelet's own node
+// numbering (root = 0). It returns 0 when t is rooted at the center, 1 when
+// t is the star rooted at a leaf, and -1 when the underlying unrooted tree
+// is not a star. Size-1 and size-2 treelets are symmetric stars; their
+// center is the root.
+func (t Treelet) StarCenter() int {
+	if t.Size() <= 2 {
+		return 0
+	}
+	if t.IsStar() {
+		return 0
+	}
+	// A leaf-rooted star is the root with exactly one child subtree that is
+	// a center-rooted star: nodes are root(0), center(1), leaves(2..).
+	first, rest := t.Decomp()
+	if rest == Leaf && first.IsStar() {
+		return 1
+	}
+	return -1
+}
+
 // RootDegree returns the number of children of the root.
 func (t Treelet) RootDegree() int {
 	d := 0

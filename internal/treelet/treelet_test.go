@@ -303,3 +303,53 @@ func TestChildren(t *testing.T) {
 		}
 	}
 }
+
+func TestHeightAndStarDetection(t *testing.T) {
+	for k := 2; k <= 7; k++ {
+		star := Star(k)
+		if !star.IsStar() || star.Height() > 1 || star.StarCenter() != 0 {
+			t.Fatalf("Star(%d) misclassified: height %d, center %d", k, star.Height(), star.StarCenter())
+		}
+		// The star is the smallest code of its size — the property that puts
+		// synthesized star entries at the head of every sorted record.
+		cat := NewCatalog(k)
+		for _, u := range cat.BySize[k] {
+			if u < star {
+				t.Fatalf("size-%d treelet %v sorts before the star", k, u)
+			}
+			if got := u.Height(); got != cat.Height(u) {
+				t.Fatalf("catalog height cache disagrees for %v: %d vs %d", u, cat.Height(u), got)
+			}
+		}
+	}
+	path4 := FromParents([]int{0, 0, 1, 2})
+	if path4.Height() != 3 || path4.IsStar() || path4.StarCenter() != -1 {
+		t.Fatalf("path4 misclassified: height %d, center %d", path4.Height(), path4.StarCenter())
+	}
+	leafStar4 := FromParents([]int{0, 0, 1, 1})
+	if leafStar4.Height() != 2 || leafStar4.IsStar() || leafStar4.StarCenter() != 1 {
+		t.Fatalf("leaf-rooted star misclassified: height %d, center %d", leafStar4.Height(), leafStar4.StarCenter())
+	}
+	if Leaf.Height() != 0 || !Leaf.IsStar() || Leaf.StarCenter() != 0 {
+		t.Fatal("leaf misclassified")
+	}
+	if Star(2).StarCenter() != 0 {
+		t.Fatal("edge misclassified")
+	}
+}
+
+func TestHeightMatchesMergeRecurrence(t *testing.T) {
+	cat := NewCatalog(6)
+	for s := 2; s <= 6; s++ {
+		for _, tr := range cat.BySize[s] {
+			first, rest := tr.Decomp()
+			want := first.Height() + 1
+			if rh := rest.Height(); rh > want {
+				want = rh
+			}
+			if tr.Height() != want {
+				t.Fatalf("height(%v) = %d, want %d", tr, tr.Height(), want)
+			}
+		}
+	}
+}

@@ -121,6 +121,13 @@ type Options struct {
 	SampleWorkers int
 	// Spill streams the count table through temp files (greedy flushing).
 	Spill bool
+	// MaterializeStars disables smart-star synthesis (on by default):
+	// star-family treelet records are computed by the DP and stored instead
+	// of being synthesized on demand from colored-degree summaries.
+	// Estimates and sampled draw sequences are bit-identical either way at
+	// equal seed; materializing costs build time and table bytes and exists
+	// for comparison and debugging.
+	MaterializeStars bool
 	// TablePath, when set, makes Count skip the build-up phase and open a
 	// count table persisted by BuildTable (or `motivo build -o`) instead —
 	// the build-once / query-many serving mode. Requires Colorings ≤ 1 and
@@ -234,6 +241,7 @@ func coreConfig(opts Options) core.Config {
 		Workers:            opts.Workers,
 		SampleWorkers:      opts.SampleWorkers,
 		Spill:              opts.Spill,
+		MaterializeStars:   opts.MaterializeStars,
 		TablePath:          opts.TablePath,
 	}
 }
