@@ -70,18 +70,37 @@ vet:
 quickstart:
 	$(GO) run ./examples/quickstart
 
-# The serve smoke CI runs: build a tiny table, start `motivo serve`, query
-# it over HTTP, assert 200 + valid JSON on /count and /stats (needs
-# curl + jq). One copy of the script — the workflow step calls this target.
+# The serve smoke CI runs: build two tiny tables, start a two-graph
+# `motivo serve`, and drive the v1 API over HTTP — list both graphs, run a
+# seeded count twice asserting the repeat is a byte-identical cache hit
+# (visible in /metrics), post a batch, and keep the legacy /count + /stats
+# aliases honest (needs curl + jq). One copy of the script — the workflow
+# step calls this target.
 serve-smoke:
 	$(GO) build -o /tmp/motivo-smoke ./cmd/motivo
-	/tmp/motivo-smoke gen -type er -n 80 -m 240 -seed 1 -o /tmp/motivo-smoke.txt
-	/tmp/motivo-smoke build -i /tmp/motivo-smoke.txt -k 4 -seed 5 -o /tmp/motivo-smoke.tbl
-	/tmp/motivo-smoke serve -i /tmp/motivo-smoke.txt -table /tmp/motivo-smoke.tbl -addr 127.0.0.1:18080 & \
+	/tmp/motivo-smoke gen -type er -n 80 -m 240 -seed 1 -o /tmp/motivo-smoke-er.txt
+	/tmp/motivo-smoke build -i /tmp/motivo-smoke-er.txt -k 4 -seed 5 -o /tmp/motivo-smoke-er.tbl
+	/tmp/motivo-smoke gen -type ba -n 60 -m 3 -seed 2 -o /tmp/motivo-smoke-ba.txt
+	/tmp/motivo-smoke build -i /tmp/motivo-smoke-ba.txt -k 3 -seed 9 -o /tmp/motivo-smoke-ba.tbl
+	/tmp/motivo-smoke serve -graph er=/tmp/motivo-smoke-er.txt:/tmp/motivo-smoke-er.tbl \
+		-graph ba=/tmp/motivo-smoke-ba.txt:/tmp/motivo-smoke-ba.tbl \
+		-cache-size 64 -max-inflight 8 -addr 127.0.0.1:18080 & \
 	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 50); do curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
-	curl -fsS -X POST http://127.0.0.1:18080/count -d '{"strategy":"ags","samples":5000,"seed":7,"top":3}' \
-		| jq -e '.k == 4 and (.counts | length) > 0 and .samples == 5000'; \
-	curl -fsS http://127.0.0.1:18080/stats | jq -e '.queries == 1 and .openMs > 0'
+	curl -fsS http://127.0.0.1:18080/v1/graphs \
+		| jq -e '(.graphs | length) == 2 and .graphs[0].name == "ba" and .graphs[1].name == "er" and (.graphs | all(.resident))'; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/graphs/er/count \
+		-d '{"strategy":"ags","samples":5000,"seed":7,"top":3}' -o /tmp/motivo-smoke-cold.json; \
+	jq -e '.graph == "er" and .k == 4 and (.counts | length) > 0 and .samples == 5000' /tmp/motivo-smoke-cold.json; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/graphs/er/count \
+		-d '{"strategy":"ags","samples":5000,"seed":7,"top":3}' -o /tmp/motivo-smoke-warm.json; \
+	cmp /tmp/motivo-smoke-cold.json /tmp/motivo-smoke-warm.json; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q '^motivo_result_cache_hits_total 1$$'; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/batch \
+		-d '{"graph":"ba","queries":[{"samples":2000,"seed":1},{"samples":-1},{"samples":2000,"seed":2}]}' \
+		| jq -e '.graph == "ba" and (.results | length) == 3 and .results[0].count.k == 3 and .results[1].code == "bad_request" and .results[2].count.k == 3'; \
+	curl -fsS -X POST http://127.0.0.1:18080/count -d '{"samples":3000,"seed":3}' \
+		| jq -e '.k == 4 and (has("graph") | not)'; \
+	curl -fsS http://127.0.0.1:18080/stats | jq -e '.k == 4 and .openMs > 0'
 
 ci: fmt-check vet build test fuzz bench quickstart serve-smoke cover

@@ -10,11 +10,15 @@
 //	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
 //	motivo count -i graph.txt -k 5 -table graph.tbl -samples 100000
 //	motivo serve -i graph.txt -table graph.tbl -addr :8080
+//	motivo serve -graph er=er.txt:er.tbl -graph ba=ba.txt:ba.tbl -mem-budget 268435456 -cache-size 1024 -max-inflight 64
 //	motivo exact -i graph.txt -k 4
 //
 // `build -o` persists the count table; `count -table` opens it and skips
-// the build — build once, query many. `serve` keeps one engine open and
-// answers JSON count queries over HTTP (see internal/serve for the API).
+// the build — build once, query many. `serve` keeps a registry of named
+// engines open and answers versioned JSON count queries over HTTP
+// (`/v1/graphs/{name}/count`, `/v1/batch`, `/v1/graphs`, `/metrics`; see
+// internal/serve for the API). `-graph` is repeatable; the first named
+// graph is the default that the legacy `/count` alias serves.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,6 +38,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/table"
 	"repro/internal/treelet"
@@ -279,36 +285,98 @@ func cmdCount(args []string) error {
 	return nil
 }
 
-// cmdServe opens one long-lived engine over a persisted table and serves
-// JSON count queries until SIGINT/SIGTERM — the build-once / query-many
-// workflow as a network service: the table open and urn construction run
-// once here, and every request pays only for its own sampling.
+// graphSpec is one `-graph name=graph.txt:table.tbl` serving assignment.
+type graphSpec struct {
+	name, graphPath, tablePath string
+}
+
+// graphFlags collects repeated -graph flags.
+type graphFlags []graphSpec
+
+func (f *graphFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = fmt.Sprintf("%s=%s:%s", s.name, s.graphPath, s.tablePath)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *graphFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=graph.txt:table.tbl, got %q", v)
+	}
+	// Split on the LAST colon so graph paths containing colons still parse.
+	i := strings.LastIndex(rest, ":")
+	if i <= 0 || i == len(rest)-1 {
+		return fmt.Errorf("want name=graph.txt:table.tbl, got %q", v)
+	}
+	for _, s := range *f {
+		if s.name == name {
+			return fmt.Errorf("duplicate graph name %q", name)
+		}
+	}
+	*f = append(*f, graphSpec{name: name, graphPath: rest[:i], tablePath: rest[i+1:]})
+	return nil
+}
+
+// cmdServe opens a registry of long-lived engines over persisted tables
+// and serves JSON count queries until SIGINT/SIGTERM — the build-once /
+// query-many workflow as a multi-tenant network service. Each table is
+// opened once at startup; engines beyond -mem-budget are LRU-evicted and
+// transparently reopened, repeated explicitly-seeded queries come from
+// the result cache, and -max-inflight bounds concurrent sampling work.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	in := fs.String("i", "", "input edge-list file (required)")
-	tablePath := fs.String("table", "", "persisted count table to serve (required, from `motivo build -o`)")
+	var graphs graphFlags
+	fs.Var(&graphs, "graph", "serve a named graph: name=graph.txt:table.tbl (repeatable; first is the default)")
+	in := fs.String("i", "", "input edge-list file (single-graph shorthand for -graph default=...)")
+	tablePath := fs.String("table", "", "persisted count table (single-graph shorthand, from `motivo build -o`)")
 	addr := fs.String("addr", ":8080", "listen address")
+	memBudget := fs.Int64("mem-budget", 0, "resident table-bytes budget; engines beyond it are LRU-evicted (0 = unlimited)")
+	cacheSize := fs.Int("cache-size", 1024, "seeded-result cache capacity in entries (0 disables)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrent sampling requests; beyond it answer 429 (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" || *tablePath == "" {
-		return fmt.Errorf("serve: -i and -table are required")
+	if (*in == "") != (*tablePath == "") {
+		return fmt.Errorf("serve: -i and -table are required together")
 	}
-	g, err := loadGraph(*in)
-	if err != nil {
-		return err
+	if *in != "" {
+		legacy := graphFlags{{name: "default", graphPath: *in, tablePath: *tablePath}}
+		graphs = append(legacy, graphs...)
 	}
-	eng, err := core.Open(g, *tablePath)
-	if err != nil {
-		return err
+	if len(graphs) == 0 {
+		return fmt.Errorf("serve: -i and -table are required, or pass -graph name=graph.txt:table.tbl (repeatable)")
 	}
-	fmt.Fprintf(os.Stderr, "motivo: opened %s in %v (k=%d, %.1f MiB); serving on %s\n",
-		*tablePath, eng.OpenTime().Round(1e6), eng.K(),
-		float64(eng.TableBytes())/(1<<20), *addr)
+	if *cacheSize < 0 || *memBudget < 0 || *maxInflight < 0 {
+		return fmt.Errorf("serve: -cache-size, -mem-budget and -max-inflight must be ≥ 0")
+	}
+	reg := registry.New(registry.Config{MemBudget: *memBudget, CacheSize: *cacheSize})
+	for _, spec := range graphs {
+		g, err := loadGraph(spec.graphPath)
+		if err != nil {
+			return fmt.Errorf("serve: graph %q: %w", spec.name, err)
+		}
+		eng, err := reg.Open(spec.name, g, spec.tablePath)
+		if err != nil {
+			return fmt.Errorf("serve: graph %q: %w", spec.name, err)
+		}
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "motivo: graph %q: opened %s in %v (k=%d, %.1f MiB)\n",
+			spec.name, spec.tablePath, st.OpenTime.Round(1e6), st.K,
+			float64(st.TableBytes)/(1<<20))
+	}
+	fmt.Fprintf(os.Stderr, "motivo: serving %d graph(s) on %s (default %q, mem-budget %d, cache %d, max-inflight %d)\n",
+		len(graphs), *addr, graphs[0].name, *memBudget, *cacheSize, *maxInflight)
 
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: serve.New(eng),
+		Addr: *addr,
+		Handler: serve.New(serve.Config{
+			Registry:     reg,
+			DefaultGraph: graphs[0].name,
+			MaxInflight:  *maxInflight,
+		}),
 		// Bound how long a connection may dribble its headers/body in, so
 		// slow or hostile clients can't pin goroutines and descriptors
 		// forever. No WriteTimeout: big sampling queries legitimately take

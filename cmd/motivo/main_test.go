@@ -99,6 +99,12 @@ func TestCommandErrorMessages(t *testing.T) {
 
 		{"serve/missing-flags", cmdServe, []string{}, "serve: -i and -table are required"},
 		{"serve/missing-table", cmdServe, []string{"-i", graphPath}, "serve: -i and -table are required"},
+		{"serve/graph-no-equals", cmdServe, []string{"-graph", "just-a-name"}, "want name=graph.txt:table.tbl"},
+		{"serve/graph-no-colon", cmdServe, []string{"-graph", "er=graph.txt"}, "want name=graph.txt:table.tbl"},
+		{"serve/graph-empty-name", cmdServe, []string{"-graph", "=g.txt:t.tbl"}, "want name=graph.txt:table.tbl"},
+		{"serve/graph-duplicate", cmdServe, []string{"-graph", "er=" + graphPath + ":" + tblPath, "-graph", "er=" + graphPath + ":" + tblPath}, `duplicate graph name "er"`},
+		{"serve/negative-cache", cmdServe, []string{"-graph", "er=" + graphPath + ":" + tblPath, "-cache-size", "-1"}, "must be ≥ 0"},
+		{"serve/missing-graph-file", cmdServe, []string{"-graph", "er=/definitely/not/here:" + tblPath}, `graph "er"`},
 
 		{"exact/missing-input", cmdExact, []string{}, "exact: -i is required"},
 	}

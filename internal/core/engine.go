@@ -125,6 +125,34 @@ func (e *Engine) K() int { return e.tab.K }
 // Graph returns the host graph the engine serves.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
+// EngineStats describes an engine in one struct: graphlet size, host graph
+// shape, resident table payload, and the one-time open cost it amortizes.
+type EngineStats struct {
+	// K is the graphlet size the table was built for.
+	K int
+	// Nodes and Edges describe the host graph.
+	Nodes int
+	Edges int64
+	// TableBytes is the packed in-memory count-table payload.
+	TableBytes int64
+	// OpenTime is how long Open spent loading and validating the table and
+	// building the master urn (zero for engines built via NewEngine).
+	OpenTime time.Duration
+}
+
+// Stats reports the engine's shape and cost in a single struct — the one
+// metadata call the serving layers read instead of the K/OpenTime/
+// TableBytes accessor trio.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		K:          e.tab.K,
+		Nodes:      e.g.NumNodes(),
+		Edges:      e.g.NumEdges(),
+		TableBytes: e.tab.Bytes(),
+		OpenTime:   e.openTime,
+	}
+}
+
 // OpenTime reports how long Open spent loading and validating the table
 // and building the master urn (zero for engines built via NewEngine).
 func (e *Engine) OpenTime() time.Duration { return e.openTime }
@@ -161,6 +189,29 @@ type Query struct {
 	BufferThreshold int
 }
 
+// Validate checks the query's invariants: a known strategy, a positive
+// sampling budget, a bounded worker count, and a positive cover threshold
+// (0 meaning "the paper's default" is allowed). It is the single
+// validation path shared by the engine itself, the registry, the HTTP
+// layer and the CLI — a query that passes here is servable as-is.
+func (q Query) Validate() error {
+	if q.Strategy != Naive && q.Strategy != AGS {
+		return fmt.Errorf("core: unknown strategy %d", int(q.Strategy))
+	}
+	if q.Samples < 1 {
+		return fmt.Errorf("core: samples must be ≥ 1, got %d", q.Samples)
+	}
+	if err := ValidateSampleWorkers(q.SampleWorkers); err != nil {
+		return err
+	}
+	if q.CoverThreshold != 0 {
+		if err := ValidateCoverThreshold(q.CoverThreshold); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // QueryResult is the outcome of one Engine query.
 type QueryResult struct {
 	// Counts estimates the number of induced occurrences per graphlet;
@@ -180,18 +231,12 @@ type QueryResult struct {
 // a deadline stops the sampling loops promptly — and is safe to call from
 // any number of goroutines concurrently.
 func (e *Engine) Count(ctx context.Context, q Query) (*QueryResult, error) {
-	if q.Samples < 1 {
-		return nil, fmt.Errorf("core: Query.Samples must be ≥ 1, got %d", q.Samples)
-	}
-	if err := ValidateSampleWorkers(q.SampleWorkers); err != nil {
+	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	cover := q.CoverThreshold
 	if cover == 0 {
 		cover = 1000
-	}
-	if err := ValidateCoverThreshold(cover); err != nil {
-		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,0 +1,61 @@
+package graphlet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Describe renders a graphlet code as a short human-readable description:
+// special names for well-known shapes, otherwise edge count and degree
+// sequence. It lives here (rather than in the root package) so the HTTP
+// serving layer can render responses without importing the public API.
+func Describe(k int, c Code) string {
+	deg := Degrees(k, c)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	switch {
+	case IsClique(k, c):
+		return fmt.Sprintf("%d-clique", k)
+	case IsStar(k, c):
+		return fmt.Sprintf("%d-star", k)
+	case isPath(k, c):
+		return fmt.Sprintf("%d-path", k)
+	case isCycle(k, c):
+		return fmt.Sprintf("%d-cycle", k)
+	}
+	parts := make([]string, len(deg))
+	for i, d := range deg {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	// The code suffix disambiguates non-isomorphic graphlets that share an
+	// edge count and degree sequence.
+	return fmt.Sprintf("%dv/%de deg[%s] %s", k, c.EdgeCount(), strings.Join(parts, ","), c)
+}
+
+func isPath(k int, c Code) bool {
+	if c.EdgeCount() != k-1 {
+		return false
+	}
+	ones, twos := 0, 0
+	for _, d := range Degrees(k, c) {
+		switch d {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		}
+	}
+	return ones == 2 && twos == k-2
+}
+
+func isCycle(k int, c Code) bool {
+	if c.EdgeCount() != k {
+		return false
+	}
+	for _, d := range Degrees(k, c) {
+		if d != 2 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// cacheKey identifies one cacheable query: the graph name plus the full
+// engine query. core.Query is a flat struct of scalars, so the pair is
+// comparable and two requests collide exactly when the engine would run
+// the identical deterministic sampling run.
+type cacheKey struct {
+	graph string
+	query core.Query
+}
+
+// resultCache is an LRU map from seeded queries to their results. Entries
+// are bounded by count, not bytes: a QueryResult is a few KB of estimates,
+// so even thousands of entries are noise next to one resident table.
+// Cached *QueryResult values are shared and must be treated as immutable
+// by every reader (the serving layer only renders them).
+type resultCache struct {
+	cap int
+
+	mu  sync.Mutex
+	lru *list.List // of *cacheEntry, front = most recent
+	m   map[cacheKey]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *core.QueryResult
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, lru: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+// get returns the cached result for key, bumping the hit/miss counters.
+func (c *resultCache) get(key cacheKey) (*core.QueryResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts (or refreshes) key's result, evicting the least recently
+// used entry beyond capacity.
+func (c *resultCache) put(key cacheKey, res *core.QueryResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&cacheEntry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.m, back.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -1,0 +1,295 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// buildGraph persists a small k=4 table for an ER graph and returns the
+// graph, the table path and the packed table payload size.
+func buildGraph(t *testing.T, n, m int, seed int64) (*graph.Graph, string, int64) {
+	t.Helper()
+	g := gen.ErdosRenyi(n, m, seed)
+	path := filepath.Join(t.TempDir(), "g.tbl")
+	stats, _, err := core.BuildTable(g, core.Config{K: 4, Seed: seed}, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, path, stats.TableBytes
+}
+
+func TestRegistryOpenGetList(t *testing.T) {
+	gA, pA, _ := buildGraph(t, 50, 120, 3)
+	gB, pB, _ := buildGraph(t, 40, 90, 7)
+	r := New(Config{})
+	if _, err := r.Open("beta", gB, pB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("alpha", gA, pA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("alpha", gA, pA); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	eng, err := r.Get(context.Background(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.K != 4 || st.Nodes != 50 {
+		t.Fatalf("alpha engine stats: %+v", st)
+	}
+	infos := r.List()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("List not sorted by name: %+v", infos)
+	}
+	for _, in := range infos {
+		if !in.Resident || in.Opens != 1 || in.K != 4 || in.TableBytes <= 0 || in.OpenTime <= 0 {
+			t.Fatalf("info after eager open: %+v", in)
+		}
+	}
+}
+
+func TestRegistryUnknownAndFailedOpen(t *testing.T) {
+	g, p, _ := buildGraph(t, 30, 60, 1)
+	r := New(Config{})
+	var unknown *UnknownGraphError
+	if _, err := r.Get(context.Background(), "nope"); !errors.As(err, &unknown) || unknown.Name != "nope" {
+		t.Fatalf("Get unknown = %v, want UnknownGraphError", err)
+	}
+	// A registration whose table never opened must not linger.
+	if _, err := r.Open("broken", g, p+".missing"); err == nil {
+		t.Fatal("Open with missing table succeeded")
+	}
+	if _, err := r.Get(context.Background(), "broken"); !errors.As(err, &unknown) {
+		t.Fatalf("failed registration still resolvable: %v", err)
+	}
+	if _, err := r.Open("ok", g, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryLRUEviction pins the eviction order under a memory budget:
+// the least-recently-*used* engine goes first (a Get refreshes recency,
+// not just Open), evicted graphs transparently reopen on the next Get,
+// and the eviction counter advances.
+func TestRegistryLRUEviction(t *testing.T) {
+	gA, pA, bA := buildGraph(t, 50, 120, 3)
+	gB, pB, bB := buildGraph(t, 50, 120, 7)
+	gC, pC, bC := buildGraph(t, 50, 120, 11)
+	// Any two tables fit, all three never do.
+	budget := bA + bB + bC - min(bA, min(bB, bC))/2 - 1
+	r := New(Config{MemBudget: budget})
+	ctx := context.Background()
+	if _, err := r.Open("a", gA, pA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("b", gB, pB); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a: now b is the least recently used.
+	if _, err := r.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open("c", gC, pC); err != nil {
+		t.Fatal(err)
+	}
+	resident := residency(r)
+	if !resident["a"] || resident["b"] || !resident["c"] {
+		t.Fatalf("after opening c, want b evicted (LRU), got residency %v", resident)
+	}
+	if st := r.Stats(); st.Evictions != 1 || st.Resident != 2 {
+		t.Fatalf("stats after one eviction: %+v", st)
+	}
+	if st := r.Stats(); st.ResidentBytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.ResidentBytes, budget)
+	}
+	// Reopening b evicts the now-least-recently-used a (order was c, a
+	// after c's open — the just-loaded engine is never its own victim).
+	if _, err := r.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	resident = residency(r)
+	if resident["a"] || !resident["b"] || !resident["c"] {
+		t.Fatalf("after reloading b, want a evicted, got residency %v", resident)
+	}
+	for _, in := range r.List() {
+		if in.Name == "b" && in.Opens != 2 {
+			t.Fatalf("b reopened, want Opens=2, got %d", in.Opens)
+		}
+	}
+	// Manual eviction drops the engine but keeps the registration.
+	if !r.Evict("c") {
+		t.Fatal("Evict(c) found nothing resident")
+	}
+	if r.Evict("c") {
+		t.Fatal("double Evict(c) claims residency")
+	}
+	if _, err := r.Get(ctx, "c"); err != nil {
+		t.Fatalf("c gone after manual eviction: %v", err)
+	}
+}
+
+func residency(r *Registry) map[string]bool {
+	out := make(map[string]bool)
+	for _, in := range r.List() {
+		out[in.Name] = in.Resident
+	}
+	return out
+}
+
+// TestRegistryConcurrentGetOpensOnce: N concurrent Gets of an evicted
+// name must share a single table load (singleflight), all observing the
+// same engine.
+func TestRegistryConcurrentGetOpensOnce(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	r.Evict("g")
+	const workers = 16
+	engines := make([]*core.Engine, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng, err := r.Get(context.Background(), "g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = eng
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if engines[i] != engines[0] {
+			t.Fatalf("concurrent Gets returned distinct engines (%d vs 0)", i)
+		}
+	}
+	if in := r.List()[0]; in.Opens != 2 {
+		t.Fatalf("16 concurrent Gets after eviction opened the table %d times, want 2 total (initial + one reload)", in.Opens)
+	}
+}
+
+// TestResultCacheBitIdentity: a cache hit returns exactly what the cold
+// run computed — the same estimates a fresh engine produces at the same
+// seed — and the hit/miss counters track lookups.
+func TestResultCacheBitIdentity(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{CacheSize: 8})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Samples: 2000, Seed: 17}
+	cold, hit, err := r.Count(ctx, "g", q, true)
+	if err != nil || hit {
+		t.Fatalf("cold query: hit=%v err=%v", hit, err)
+	}
+	warm, hit, err := r.Count(ctx, "g", q, true)
+	if err != nil || !hit {
+		t.Fatalf("repeat query: hit=%v err=%v", hit, err)
+	}
+	if warm != cold {
+		t.Fatal("cache hit returned a different result object than the cold run")
+	}
+	// Cross-check against an engine with no registry in the loop.
+	eng, err := core.Open(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := eng.Count(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Counts, direct.Counts) || !reflect.DeepEqual(cold.Frequencies, direct.Frequencies) {
+		t.Fatal("registry-served estimates differ from a direct engine query at the same seed")
+	}
+	st := r.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CacheEntries != 1 {
+		t.Fatalf("cache counters: %+v", st)
+	}
+	if st.Queries != 2 || st.Samples != 2000 {
+		t.Fatalf("traffic counters (cached query must not re-add samples): %+v", st)
+	}
+}
+
+// TestResultCacheBypass: non-cacheable queries (no explicit seed) never
+// touch the cache — no stored entry, no counter movement.
+func TestResultCacheBypass(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{CacheSize: 8})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Samples: 1000, Seed: 1}
+	for i := 0; i < 2; i++ {
+		if _, hit, err := r.Count(ctx, "g", q, false); err != nil || hit {
+			t.Fatalf("bypass query %d: hit=%v err=%v", i, hit, err)
+		}
+	}
+	st := r.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
+		t.Fatalf("bypass queries touched the cache: %+v", st)
+	}
+	if st.Samples != 2000 {
+		t.Fatalf("both bypass runs must sample: %+v", st)
+	}
+}
+
+// TestResultCacheLRU: the cache evicts by entry count, least recently
+// used first.
+func TestResultCacheLRU(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{CacheSize: 2})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q1 := core.Query{Samples: 500, Seed: 1}
+	q2 := core.Query{Samples: 500, Seed: 2}
+	q3 := core.Query{Samples: 500, Seed: 3}
+	for _, q := range []core.Query{q1, q2, q3} {
+		if _, _, err := r.Count(ctx, "g", q, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// q1 was evicted when q3 landed; q3 and q2 are still warm.
+	if _, hit, _ := r.Count(ctx, "g", q3, true); !hit {
+		t.Fatal("q3 should be cached")
+	}
+	if _, hit, _ := r.Count(ctx, "g", q1, true); hit {
+		t.Fatal("q1 should have been evicted by entry-count LRU")
+	}
+	if st := r.Stats(); st.CacheEntries != 2 || st.CacheCap != 2 {
+		t.Fatalf("cache size: %+v", st)
+	}
+}
+
+// TestRegistryCountValidates: the registry rejects invalid queries before
+// resolving any engine — one validation path end to end.
+func TestRegistryCountValidates(t *testing.T) {
+	g, p, _ := buildGraph(t, 30, 60, 1)
+	r := New(Config{})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Count(context.Background(), "g", core.Query{Samples: -1, Seed: 1}, false); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+	var unknown *UnknownGraphError
+	if _, _, err := r.Count(context.Background(), "nope", core.Query{Samples: 100, Seed: 1}, false); !errors.As(err, &unknown) {
+		t.Fatalf("Count on unknown graph: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package serve
+
+// Wire types of the HTTP API, shared by the /v1 handlers and the legacy
+// single-graph aliases. Everything in this file is a JSON contract:
+// field additions must be backward compatible (omitempty on anything the
+// legacy endpoints don't set) and nothing here may depend on handler
+// internals.
+
+// CountRequest is the JSON body of POST /count and
+// POST /v1/graphs/{name}/count, and the element type of a batch's query
+// list. Every field is optional: the zero value runs 100k naive samples
+// at seed 1, the defaults of the library's Query.
+type CountRequest struct {
+	// Strategy is "naive" (default) or "ags".
+	Strategy string `json:"strategy"`
+	// Samples is the sampling budget. Default 100000.
+	Samples int `json:"samples"`
+	// Seed makes the query reproducible. Default 1. A query whose seed is
+	// set explicitly (non-zero) is eligible for the server's seeded-result
+	// cache; omitting it (or sending 0) bypasses the cache.
+	Seed int64 `json:"seed"`
+	// CoverThreshold is AGS's c̄. Default 1000.
+	CoverThreshold int `json:"coverThreshold"`
+	// SampleWorkers parallelizes the query across urn clones.
+	SampleWorkers int `json:"sampleWorkers"`
+	// Top truncates the response to the N largest estimates (0 = all).
+	Top int `json:"top"`
+}
+
+// CountEstimate is one graphlet's estimate in a CountResponse.
+type CountEstimate struct {
+	// Code is the canonical graphlet code; Description a human-readable
+	// rendering ("5-clique", "4-star", …).
+	Code        string  `json:"code"`
+	Description string  `json:"description"`
+	Count       float64 `json:"count"`
+	Frequency   float64 `json:"frequency"`
+}
+
+// CountResponse is the JSON body answering a count query. Graph is set by
+// the /v1 handlers only; the legacy /count endpoint (which serves exactly
+// one graph) omits it, keeping its historical body byte-stable.
+type CountResponse struct {
+	Graph        string          `json:"graph,omitempty"`
+	K            int             `json:"k"`
+	Strategy     string          `json:"strategy"`
+	Samples      int             `json:"samples"`
+	Covered      int             `json:"covered"`
+	SampleTimeMs float64         `json:"sampleTimeMs"`
+	Counts       []CountEstimate `json:"counts"`
+}
+
+// BatchRequest is the JSON body of POST /v1/batch: a list of queries
+// answered off one engine resolution of a single named graph.
+type BatchRequest struct {
+	// Graph names the registered graph every query in the batch runs
+	// against. Empty means the server's default graph.
+	Graph string `json:"graph"`
+	// Queries is the per-entry query list (same schema as /count bodies).
+	Queries []CountRequest `json:"queries"`
+}
+
+// BatchResult is one entry's outcome in a BatchResponse: exactly one of
+// Count or Error is set. A bad entry fails alone — it does not fail the
+// batch.
+type BatchResult struct {
+	Count *CountResponse `json:"count,omitempty"`
+	Error string         `json:"error,omitempty"`
+	// Code is the machine-readable error code (see errorResponse).
+	Code string `json:"code,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch; Results aligns index-for-index
+// with the request's Queries.
+type BatchResponse struct {
+	Graph   string        `json:"graph"`
+	Results []BatchResult `json:"results"`
+}
+
+// GraphInfo is one registered graph in a GraphsResponse.
+type GraphInfo struct {
+	Name string `json:"name"`
+	// Resident reports whether the graph's engine is currently loaded
+	// (false after an LRU eviction; the next query reloads it).
+	Resident   bool    `json:"resident"`
+	K          int     `json:"k"`
+	Nodes      int     `json:"nodes"`
+	Edges      int64   `json:"edges"`
+	TableBytes int64   `json:"tableBytes"`
+	OpenMs     float64 `json:"openMs"`
+	Opens      int64   `json:"opens"`
+	Queries    int64   `json:"queries"`
+}
+
+// GraphsResponse is the JSON body answering GET /v1/graphs.
+type GraphsResponse struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+// Stats is the JSON body answering the legacy GET /stats: the default
+// graph's engine statistics plus server-wide traffic counters.
+type Stats struct {
+	K          int   `json:"k"`
+	Nodes      int   `json:"nodes"`
+	Edges      int64 `json:"edges"`
+	TableBytes int64 `json:"tableBytes"`
+	// OpenMs is the one-time table open + urn construction cost the engine
+	// amortizes over every query it serves.
+	OpenMs       float64 `json:"openMs"`
+	UptimeSec    float64 `json:"uptimeSec"`
+	Queries      int64   `json:"queries"`
+	TotalSamples int64   `json:"totalSamples"`
+}
+
+// Machine-readable error codes carried by every /v1 error response.
+const (
+	// codeBadRequest: the request body or parameters are malformed.
+	codeBadRequest = "bad_request"
+	// codeUnknownGraph: the named graph is not registered.
+	codeUnknownGraph = "unknown_graph"
+	// codeOverloaded: the server is at its in-flight sampling limit; retry
+	// after the Retry-After header.
+	codeOverloaded = "overloaded"
+	// codeCanceled: the query was canceled before completing.
+	codeCanceled = "canceled"
+	// codeInternal: an unexpected server-side failure.
+	codeInternal = "internal"
+)
+
+// errorResponse is the JSON body of every error answer. Error is the
+// human-readable message; Code the stable machine-readable class (always
+// set on /v1 responses).
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}

@@ -1,45 +1,114 @@
-// Package serve exposes a core.Engine over HTTP — the serving layer of the
-// build-once / query-many workflow. One long-lived engine (table opened and
-// master urn built once, at startup) answers JSON count queries with
-// per-request strategy, budget and seed; concurrent requests are race-safe
-// because each one samples from its own urn clone, and a client disconnect
-// cancels the request's sampling loop through the request context.
+// Package serve exposes an engine registry over HTTP — the multi-tenant
+// serving layer of the build-once / query-many workflow. One process
+// holds many named graphs; engines are opened once, LRU-evicted under a
+// memory budget and transparently reopened; repeated explicitly-seeded
+// queries are answered from the registry's result cache without sampling.
+// Concurrent requests are race-safe because each query samples from its
+// own urn clone, and a client disconnect cancels the request's sampling
+// loop through the request context.
 //
-// Endpoints:
+// Versioned API:
+//
+//	POST /v1/graphs/{name}/count   one query against a named graph
+//	POST /v1/batch                 a query list off one engine resolution
+//	GET  /v1/graphs                every registered graph + residency
+//	GET  /metrics                  Prometheus text format
+//
+// Legacy single-graph API, aliased onto the default graph so pre-v1
+// clients keep working:
 //
 //	POST /count   {"strategy":"ags","samples":50000,"seed":7,"top":10}
-//	GET  /stats   engine + traffic statistics (open time, queries served, …)
+//	GET  /stats   engine + traffic statistics (open time, queries, …)
 //	GET  /healthz liveness probe
+//
+// Admission control: Config.MaxInflight bounds concurrent sampling
+// requests; beyond it the server answers 429 with a Retry-After header
+// instead of queueing unbounded sampling work.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
-	motivo "repro"
 	"repro/internal/core"
 	"repro/internal/graphlet"
+	"repro/internal/registry"
 )
 
-// Server is an http.Handler serving count queries from one Engine.
-type Server struct {
-	eng     *core.Engine
-	mux     *http.ServeMux
-	started time.Time
-
-	queries atomic.Int64 // successfully served /count requests
-	samples atomic.Int64 // total samples drawn across them
+// Config parameterizes New.
+type Config struct {
+	// Registry is the engine registry to serve (required).
+	Registry *registry.Registry
+	// DefaultGraph is the registered name the legacy /count and /stats
+	// endpoints alias onto. Empty means the first registered name in List
+	// order.
+	DefaultGraph string
+	// MaxInflight caps concurrent sampling requests (a batch counts as
+	// one); beyond it requests answer 429 + Retry-After. 0 = unlimited.
+	MaxInflight int
+	// ErrorLog receives response-encoding failures and other server-side
+	// faults; nil means log.Default().
+	ErrorLog *log.Logger
 }
 
-// New wraps an engine into an HTTP handler.
-func New(eng *core.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux(), started: time.Now()}
+// batchConcurrency bounds how many of a batch's entries sample at once;
+// each concurrent entry gets its own urn clone off the shared engine.
+const batchConcurrency = 4
+
+// maxBatchEntries bounds a batch's query list; beyond it the request is a
+// 400, not a way to queue unbounded work behind one admission slot.
+const maxBatchEntries = 256
+
+// Server is an http.Handler serving count queries from a registry.
+type Server struct {
+	reg          *registry.Registry
+	defaultGraph string
+	mux          *http.ServeMux
+	started      time.Time
+	log          *log.Logger
+
+	// inflight is the admission semaphore (nil = unlimited); rejected
+	// counts the requests turned away at the limit.
+	inflight chan struct{}
+	rejected atomic.Int64
+}
+
+// New wraps a registry into the HTTP API.
+func New(cfg Config) *Server {
+	s := &Server{
+		reg:          cfg.Registry,
+		defaultGraph: cfg.DefaultGraph,
+		mux:          http.NewServeMux(),
+		started:      time.Now(),
+		log:          cfg.ErrorLog,
+	}
+	if s.log == nil {
+		s.log = log.Default()
+	}
+	if s.defaultGraph == "" {
+		if names := s.reg.List(); len(names) > 0 {
+			s.defaultGraph = names[0].Name
+		}
+	}
+	if cfg.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInflight)
+	}
+	// v1 routes are registered without method patterns on purpose: the
+	// mux's automatic 405 writes a plain-text body, and every v1 error —
+	// including wrong methods — must be a JSON errorResponse with a code.
+	s.mux.HandleFunc("/v1/graphs/{name}/count", s.handleV1Count)
+	s.mux.HandleFunc("/v1/graphs", s.handleV1Graphs)
+	s.mux.HandleFunc("/v1/batch", s.handleV1Batch)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/count", s.handleCount)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -49,76 +118,102 @@ func New(eng *core.Engine) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// CountRequest is the JSON body of POST /count. Every field is optional:
-// the zero value runs 100k naive samples at seed 1, the defaults of the
-// library's Query.
-type CountRequest struct {
-	// Strategy is "naive" (default) or "ags".
-	Strategy string `json:"strategy"`
-	// Samples is the sampling budget. Default 100000.
-	Samples int `json:"samples"`
-	// Seed makes the query reproducible. Default 1.
-	Seed int64 `json:"seed"`
-	// CoverThreshold is AGS's c̄. Default 1000.
-	CoverThreshold int `json:"coverThreshold"`
-	// SampleWorkers parallelizes the query across urn clones.
-	SampleWorkers int `json:"sampleWorkers"`
-	// Top truncates the response to the N largest estimates (0 = all).
-	Top int `json:"top"`
-}
-
-// CountEstimate is one graphlet's estimate in a CountResponse.
-type CountEstimate struct {
-	// Code is the canonical graphlet code; Description a human-readable
-	// rendering ("5-clique", "4-star", …).
-	Code        string  `json:"code"`
-	Description string  `json:"description"`
-	Count       float64 `json:"count"`
-	Frequency   float64 `json:"frequency"`
-}
-
-// CountResponse is the JSON body answering POST /count.
-type CountResponse struct {
-	K            int             `json:"k"`
-	Strategy     string          `json:"strategy"`
-	Samples      int             `json:"samples"`
-	Covered      int             `json:"covered"`
-	SampleTimeMs float64         `json:"sampleTimeMs"`
-	Counts       []CountEstimate `json:"counts"`
-}
-
-// Stats is the JSON body answering GET /stats.
-type Stats struct {
-	K          int   `json:"k"`
-	Nodes      int   `json:"nodes"`
-	Edges      int64 `json:"edges"`
-	TableBytes int64 `json:"tableBytes"`
-	// OpenMs is the one-time table open + urn construction cost the engine
-	// amortizes over every query it serves.
-	OpenMs       float64 `json:"openMs"`
-	UptimeSec    float64 `json:"uptimeSec"`
-	Queries      int64   `json:"queries"`
-	TotalSamples int64   `json:"totalSamples"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as an indented JSON response. Encode errors past the
+// committed header can't change the status anymore, but they are logged —
+// a response dying halfway is an operational signal, not noise to drop.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the response is already committed
+	if err := enc.Encode(v); err != nil {
+		s.log.Printf("serve: encoding %d response: %v", status, err)
+	}
+}
+
+// writeV1JSON is writeJSON for the versioned API: seeded responses are
+// reproducible but cache semantics belong to the server's own result
+// cache, so intermediaries are told never to store them.
+func (s *Server) writeV1JSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Cache-Control", "no-store")
+	s.writeJSON(w, status, v)
+}
+
+func (s *Server) v1Error(w http.ResponseWriter, status int, code, msg string) {
+	s.writeV1JSON(w, status, errorResponse{Error: msg, Code: code})
+}
+
+// admit acquires an admission slot (always succeeds when unlimited).
+func (s *Server) admit() bool {
+	if s.inflight == nil {
+		return true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.inflight != nil {
+		<-s.inflight
+	}
+}
+
+// overloaded answers a request turned away by admission control.
+func (s *Server) overloaded(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	s.v1Error(w, http.StatusTooManyRequests, codeOverloaded,
+		"server is at its in-flight sampling limit; retry shortly")
 }
 
 // maxCountBody bounds the /count request body: queries are a handful of
 // scalar fields; a megabyte bounds any honest request and stops hostile
-// bodies from buffering into server memory.
+// bodies from buffering into server memory. Batch bodies scale it by the
+// entry limit's order of magnitude.
 const maxCountBody = 1 << 20
+const maxBatchBody = 4 << 20
 
-// decodeCountRequest parses and validates a /count body into an engine
+// queryFromRequest validates and defaults one wire-level query into an
+// engine query — the single translation used by /count, /v1 count and
+// every batch entry. The request's own fields are left as sent, so the
+// caller can still see whether the seed was explicit (req.Seed != 0).
+func queryFromRequest(req *CountRequest) (core.Query, error) {
+	strategy := core.Naive
+	if req.Strategy != "" {
+		var err error
+		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
+			return core.Query{}, err
+		}
+	}
+	if req.Top < 0 {
+		return core.Query{}, fmt.Errorf("top must be ≥ 0, got %d", req.Top)
+	}
+	q := core.Query{
+		Strategy:       strategy,
+		Samples:        req.Samples,
+		CoverThreshold: req.CoverThreshold,
+		Seed:           req.Seed,
+		SampleWorkers:  req.SampleWorkers,
+	}
+	if q.Samples == 0 {
+		q.Samples = 100000
+	}
+	if q.Seed == 0 {
+		q.Seed = 1
+	}
+	// One validation path for every entry point (satellite of the paper's
+	// serving story): the engine's own Query.Validate.
+	if err := q.Validate(); err != nil {
+		return core.Query{}, err
+	}
+	return q, nil
+}
+
+// decodeCountRequest parses and validates a count body into an engine
 // query. It is total: any input bytes produce either a valid query or a
 // descriptive error, never a panic — the property FuzzCountRequest checks.
 // An empty body is the all-defaults query (every field is optional).
@@ -135,74 +230,47 @@ func decodeCountRequest(body io.Reader) (core.Query, *CountRequest, error) {
 		// request, not something to silently ignore.
 		return core.Query{}, nil, fmt.Errorf("bad request body: trailing data after the query object")
 	}
-	strategy := core.Naive
-	if req.Strategy != "" {
-		var err error
-		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
-			return core.Query{}, nil, err
-		}
-	}
-	if req.Samples == 0 {
-		req.Samples = 100000
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
-	// Validate the query shape here so client mistakes answer 400; any
-	// error the engine itself returns past this point is a server fault.
-	if req.Samples < 1 {
-		return core.Query{}, nil, fmt.Errorf("samples must be ≥ 1, got %d", req.Samples)
-	}
-	if req.Top < 0 {
-		return core.Query{}, nil, fmt.Errorf("top must be ≥ 0, got %d", req.Top)
-	}
-	if err := core.ValidateSampleWorkers(req.SampleWorkers); err != nil {
+	q, err := queryFromRequest(&req)
+	if err != nil {
 		return core.Query{}, nil, err
 	}
-	if req.CoverThreshold != 0 {
-		if err := core.ValidateCoverThreshold(req.CoverThreshold); err != nil {
-			return core.Query{}, nil, err
-		}
-	}
-	return core.Query{
-		Strategy:       strategy,
-		Samples:        req.Samples,
-		CoverThreshold: req.CoverThreshold,
-		Seed:           req.Seed,
-		SampleWorkers:  req.SampleWorkers,
-	}, &req, nil
+	return q, &req, nil
 }
 
-func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST a JSON query to /count"})
-		return
-	}
-	query, req, err := decodeCountRequest(http.MaxBytesReader(w, r.Body, maxCountBody))
+// countOn resolves one decoded query against a named graph and renders the
+// response; the error triple is (status, code, message) for the caller's
+// error envelope.
+func (s *Server) countOn(ctx context.Context, name string, q core.Query, req *CountRequest) (*CountResponse, bool, int, string, error) {
+	// An explicit seed makes the run deterministic and therefore cacheable;
+	// seed 0/unset means "default seed" and always samples afresh.
+	seeded := req.Seed != 0
+	qres, hit, err := s.reg.Count(ctx, name, q, seeded)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		return
-	}
-	qres, err := s.eng.Count(r.Context(), query)
-	if err != nil {
-		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
-			// The client is gone; there is nobody to answer.
-			return
+		var unknown *registry.UnknownGraphError
+		switch {
+		case errors.As(err, &unknown):
+			return nil, false, http.StatusNotFound, codeUnknownGraph, err
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return nil, false, http.StatusServiceUnavailable, codeCanceled, err
+		default:
+			return nil, false, http.StatusInternalServerError, codeInternal, err
 		}
-		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
-		return
 	}
-	s.queries.Add(1)
-	s.samples.Add(int64(qres.Samples))
-	writeJSON(w, http.StatusOK, s.countResponse(query.Strategy, req.Top, qres))
+	// K comes from the registry's metadata, not the engine: a cache hit
+	// must not force an evicted engine back into memory just to render.
+	k, _, err := s.reg.Meta(name)
+	if err != nil {
+		return nil, false, http.StatusInternalServerError, codeInternal, err
+	}
+	return renderCountResponse(k, q.Strategy, req.Top, qres), hit, 0, "", nil
 }
 
-// countResponse renders a query result with estimates in deterministic
-// largest-first order. Sorting and truncation run on the raw codes first;
-// the Describe/format work happens only for the entries actually served.
-func (s *Server) countResponse(strategy core.Strategy, top int, qres *core.QueryResult) *CountResponse {
-	k := s.eng.K()
+// renderCountResponse renders a query result with estimates in
+// deterministic largest-first order, so a cached result re-renders to the
+// exact bytes its cold run produced. Sorting and truncation run on the raw
+// codes first; the Describe/format work happens only for the entries
+// actually served.
+func renderCountResponse(k int, strategy core.Strategy, top int, qres *core.QueryResult) *CountResponse {
 	type rawEstimate struct {
 		code  graphlet.Code
 		count float64
@@ -231,7 +299,7 @@ func (s *Server) countResponse(strategy core.Strategy, top int, qres *core.Query
 	for _, e := range raw {
 		resp.Counts = append(resp.Counts, CountEstimate{
 			Code:        e.code.String(),
-			Description: motivo.Describe(k, e.code),
+			Description: graphlet.Describe(k, e.code),
 			Count:       e.count,
 			Frequency:   qres.Frequencies[e.code],
 		})
@@ -239,25 +307,276 @@ func (s *Server) countResponse(strategy core.Strategy, top int, qres *core.Query
 	return resp
 }
 
+// handleV1Count serves POST /v1/graphs/{name}/count.
+func (s *Server) handleV1Count(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.v1Error(w, http.StatusMethodNotAllowed, codeBadRequest, "POST a JSON query to this endpoint")
+		return
+	}
+	name := r.PathValue("name")
+	query, req, err := decodeCountRequest(http.MaxBytesReader(w, r.Body, maxCountBody))
+	if err != nil {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	if !s.admit() {
+		s.overloaded(w)
+		return
+	}
+	defer s.release()
+	resp, hit, status, code, err := s.countOn(r.Context(), name, query, req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // the client is gone; there is nobody to answer
+		}
+		s.v1Error(w, status, code, err.Error())
+		return
+	}
+	resp.Graph = name
+	// The cache disposition rides in a header so hit and miss bodies stay
+	// byte-identical (the acceptance property of the result cache).
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	s.writeV1JSON(w, http.StatusOK, resp)
+}
+
+// handleV1Graphs serves GET /v1/graphs.
+func (s *Server) handleV1Graphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.v1Error(w, http.StatusMethodNotAllowed, codeBadRequest, "GET /v1/graphs")
+		return
+	}
+	infos := s.reg.List()
+	resp := GraphsResponse{Graphs: make([]GraphInfo, 0, len(infos))}
+	for _, in := range infos {
+		resp.Graphs = append(resp.Graphs, GraphInfo{
+			Name:       in.Name,
+			Resident:   in.Resident,
+			K:          in.K,
+			Nodes:      in.Nodes,
+			Edges:      in.Edges,
+			TableBytes: in.TableBytes,
+			OpenMs:     float64(in.OpenTime.Microseconds()) / 1000,
+			Opens:      in.Opens,
+			Queries:    in.Queries,
+		})
+	}
+	s.writeV1JSON(w, http.StatusOK, resp)
+}
+
+// handleV1Batch serves POST /v1/batch: the whole list runs against one
+// named graph, resolved (and, if evicted, reopened) exactly once; entries
+// sample concurrently up to batchConcurrency, each on its own urn clone.
+// A bad entry answers inside its own slot; it does not fail the batch.
+func (s *Server) handleV1Batch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.v1Error(w, http.StatusMethodNotAllowed, codeBadRequest, "POST a JSON batch to /v1/batch")
+		return
+	}
+	var breq BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&breq); err != nil {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, "bad request body: trailing data after the batch object")
+		return
+	}
+	if len(breq.Queries) == 0 {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, "batch needs a non-empty queries list")
+		return
+	}
+	if len(breq.Queries) > maxBatchEntries {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("batch is limited to %d queries, got %d", maxBatchEntries, len(breq.Queries)))
+		return
+	}
+	name := breq.Graph
+	if name == "" {
+		name = s.defaultGraph
+	}
+	if !s.admit() {
+		s.overloaded(w)
+		return
+	}
+	defer s.release()
+	// One engine resolution for the whole batch: the expensive part of
+	// serving an evicted graph (table open + urn build) happens here once;
+	// per-entry Counts then find the engine resident.
+	if _, err := s.reg.Get(r.Context(), name); err != nil {
+		var unknown *registry.UnknownGraphError
+		if errors.As(err, &unknown) {
+			s.v1Error(w, http.StatusNotFound, codeUnknownGraph, err.Error())
+		} else if r.Context().Err() == nil {
+			s.v1Error(w, http.StatusInternalServerError, codeInternal, err.Error())
+		}
+		return
+	}
+	results := make([]BatchResult, len(breq.Queries))
+	sem := make(chan struct{}, batchConcurrency)
+	done := make(chan int)
+	for i := range breq.Queries {
+		go func(i int) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			req := &breq.Queries[i]
+			q, err := queryFromRequest(req)
+			if err != nil {
+				results[i] = BatchResult{Error: err.Error(), Code: codeBadRequest}
+				return
+			}
+			resp, _, _, code, err := s.countOn(r.Context(), name, q, req)
+			if err != nil {
+				results[i] = BatchResult{Error: err.Error(), Code: code}
+				return
+			}
+			results[i] = BatchResult{Count: resp}
+		}(i)
+	}
+	for range breq.Queries {
+		<-done
+	}
+	if r.Context().Err() != nil {
+		return // client gone mid-batch; drop the partial answer
+	}
+	s.writeV1JSON(w, http.StatusOK, BatchResponse{Graph: name, Results: results})
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format — counters for queries, samples, the result cache, evictions and
+// admission control, plus per-graph open cost and traffic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET /metrics", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.reg.Stats()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("motivo_queries_total", "Count queries served (fresh and cached).", st.Queries)
+	counter("motivo_samples_total", "Samples drawn across all queries (cache hits draw none).", st.Samples)
+	counter("motivo_result_cache_hits_total", "Seeded-result cache hits.", st.CacheHits)
+	counter("motivo_result_cache_misses_total", "Seeded-result cache misses.", st.CacheMisses)
+	gauge("motivo_result_cache_entries", "Seeded-result cache entries resident.", float64(st.CacheEntries))
+	counter("motivo_engine_evictions_total", "Engines evicted under the memory budget or by request.", st.Evictions)
+	counter("motivo_rejected_total", "Requests rejected by admission control (429).", s.rejected.Load())
+	gauge("motivo_graphs_registered", "Graphs registered.", float64(st.Graphs))
+	gauge("motivo_graphs_resident", "Graphs with a loaded engine.", float64(st.Resident))
+	gauge("motivo_resident_table_bytes", "Summed packed table payload of resident engines.", float64(st.ResidentBytes))
+	gauge("motivo_mem_budget_bytes", "Configured resident-table budget (0 = unlimited).", float64(st.MemBudget))
+	gauge("motivo_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
+
+	infos := s.reg.List()
+	fmt.Fprintf(&b, "# HELP motivo_graph_open_seconds Duration of the graph's most recent table open.\n# TYPE motivo_graph_open_seconds gauge\n")
+	for _, in := range infos {
+		fmt.Fprintf(&b, "motivo_graph_open_seconds{graph=%q} %g\n", in.Name, in.OpenTime.Seconds())
+	}
+	fmt.Fprintf(&b, "# HELP motivo_graph_opens_total Table loads (first open plus reloads after eviction).\n# TYPE motivo_graph_opens_total counter\n")
+	for _, in := range infos {
+		fmt.Fprintf(&b, "motivo_graph_opens_total{graph=%q} %d\n", in.Name, in.Opens)
+	}
+	fmt.Fprintf(&b, "# HELP motivo_graph_queries_total Queries served per graph.\n# TYPE motivo_graph_queries_total counter\n")
+	for _, in := range infos {
+		fmt.Fprintf(&b, "motivo_graph_queries_total{graph=%q} %d\n", in.Name, in.Queries)
+	}
+	fmt.Fprintf(&b, "# HELP motivo_graph_table_bytes Packed table payload per graph (last known when evicted).\n# TYPE motivo_graph_table_bytes gauge\n")
+	for _, in := range infos {
+		fmt.Fprintf(&b, "motivo_graph_table_bytes{graph=%q} %d\n", in.Name, in.TableBytes)
+	}
+	fmt.Fprintf(&b, "# HELP motivo_graph_resident Whether the graph's engine is loaded.\n# TYPE motivo_graph_resident gauge\n")
+	for _, in := range infos {
+		resident := 0
+		if in.Resident {
+			resident = 1
+		}
+		fmt.Fprintf(&b, "motivo_graph_resident{graph=%q} %d\n", in.Name, resident)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		s.log.Printf("serve: writing /metrics: %v", err)
+	}
+}
+
+// handleCount serves the legacy POST /count as a thin alias onto the
+// default graph: same decoding, same registry path (including the result
+// cache and admission control), historical response shape.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST a JSON query to /count", Code: codeBadRequest})
+		return
+	}
+	query, req, err := decodeCountRequest(http.MaxBytesReader(w, r.Body, maxCountBody))
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error(), Code: codeBadRequest})
+		return
+	}
+	if !s.admit() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{
+			Error: "server is at its in-flight sampling limit; retry shortly", Code: codeOverloaded})
+		return
+	}
+	defer s.release()
+	resp, _, status, code, err := s.countOn(r.Context(), s.defaultGraph, query, req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // the client is gone; there is nobody to answer
+		}
+		s.writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats serves the legacy GET /stats: the default graph's engine
+// statistics plus server-wide traffic counters.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET /stats"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET /stats", Code: codeBadRequest})
 		return
 	}
-	g := s.eng.Graph()
-	writeJSON(w, http.StatusOK, Stats{
-		K:            s.eng.K(),
-		Nodes:        g.NumNodes(),
-		Edges:        g.NumEdges(),
-		TableBytes:   s.eng.TableBytes(),
-		OpenMs:       float64(s.eng.OpenTime().Microseconds()) / 1000,
+	eng, err := s.reg.Get(r.Context(), s.defaultGraph)
+	if err != nil {
+		var unknown *registry.UnknownGraphError
+		code := codeInternal
+		status := http.StatusInternalServerError
+		if errors.As(err, &unknown) {
+			code, status = codeUnknownGraph, http.StatusNotFound
+		}
+		s.writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
+		return
+	}
+	est := eng.Stats()
+	rst := s.reg.Stats()
+	s.writeJSON(w, http.StatusOK, Stats{
+		K:            est.K,
+		Nodes:        est.Nodes,
+		Edges:        est.Edges,
+		TableBytes:   est.TableBytes,
+		OpenMs:       float64(est.OpenTime.Microseconds()) / 1000,
 		UptimeSec:    time.Since(s.started).Seconds(),
-		Queries:      s.queries.Load(),
-		TotalSamples: s.samples.Load(),
+		Queries:      rst.Queries,
+		TotalSamples: rst.Samples,
 	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

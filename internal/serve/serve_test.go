@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/registry"
 )
 
 func testServer(t *testing.T) (*Server, *graph.Graph, string) {
@@ -19,11 +20,11 @@ func testServer(t *testing.T) (*Server, *graph.Graph, string) {
 	if _, _, err := core.BuildTable(g, core.Config{K: 4, Seed: 13}, path); err != nil {
 		t.Fatal(err)
 	}
-	eng, err := core.Open(g, path)
-	if err != nil {
+	reg := registry.New(registry.Config{CacheSize: 64})
+	if _, err := reg.Open("default", g, path); err != nil {
 		t.Fatal(err)
 	}
-	return New(eng), g, path
+	return New(Config{Registry: reg}), g, path
 }
 
 func doJSON(t *testing.T, srv *Server, method, target, body string, out any) *httptest.ResponseRecorder {

@@ -24,10 +24,9 @@ package motivo
 
 import (
 	"context"
-	"fmt"
 	"io"
+	"net/http"
 	"sort"
-	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -36,6 +35,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphlet"
+	"repro/internal/registry"
+	"repro/internal/serve"
 	"repro/internal/treelet"
 )
 
@@ -325,31 +326,52 @@ type Query struct {
 	Samples int
 	// CoverThreshold is AGS's covering threshold c̄. Default 1000.
 	CoverThreshold int
-	// Seed makes the query reproducible. Default 1.
+	// Seed makes the query reproducible. Default 1. A Query sent through a
+	// Registry is answered from the seeded-result cache only when Seed is
+	// set explicitly (non-zero); Seed 0 means "default seed, don't cache".
 	Seed int64
 	// SampleWorkers parallelizes this query across urn clones (≤ 1 =
 	// sequential).
 	SampleWorkers int
 }
 
-// Count serves one query from the engine's table. It honors ctx — a
-// canceled request (an HTTP client disconnect, a deadline) stops the
-// sampling loop promptly — and may be called concurrently from any number
-// of goroutines.
-func (e *Engine) Count(ctx context.Context, q Query) (*Result, error) {
+// withDefaults completes the zero fields exactly as Engine.Count serves
+// them, so Validate judges the query the engine would actually run.
+func (q Query) withDefaults() Query {
 	if q.Samples == 0 {
 		q.Samples = 100000
 	}
 	if q.Seed == 0 {
 		q.Seed = 1
 	}
-	qres, err := e.eng.Count(ctx, core.Query{
+	return q
+}
+
+// coreQuery maps the query onto the engine-layer query — the single
+// translation used by Engine.Count, Registry.Count and Validate, so the
+// public API cannot drift from what the engine serves.
+func (q Query) coreQuery() core.Query {
+	return core.Query{
 		Strategy:       q.Strategy,
 		Samples:        q.Samples,
 		CoverThreshold: q.CoverThreshold,
 		Seed:           q.Seed,
 		SampleWorkers:  q.SampleWorkers,
-	})
+	}
+}
+
+// Validate reports whether the query (after defaulting, so the zero value
+// is valid) can be served: known strategy, positive budget, bounded worker
+// count, positive cover threshold. It is the one validation path shared by
+// the CLI, the HTTP layer and the engine itself.
+func (q Query) Validate() error { return q.withDefaults().coreQuery().Validate() }
+
+// Count serves one query from the engine's table. It honors ctx — a
+// canceled request (an HTTP client disconnect, a deadline) stops the
+// sampling loop promptly — and may be called concurrently from any number
+// of goroutines.
+func (e *Engine) Count(ctx context.Context, q Query) (*Result, error) {
+	qres, err := e.eng.Count(ctx, q.withDefaults().coreQuery())
 	if err != nil {
 		return nil, err
 	}
@@ -363,15 +385,148 @@ func (e *Engine) Count(ctx context.Context, q Query) (*Result, error) {
 	}, nil
 }
 
+// EngineStats describes an engine in one struct: graphlet size, host graph
+// shape, resident table payload, and the one-time open cost the engine
+// amortizes over its queries.
+type EngineStats = core.EngineStats
+
+// Stats reports the engine's shape and cost in a single struct, replacing
+// the ad-hoc K/OpenTime/TableBytes accessor trio.
+func (e *Engine) Stats() EngineStats { return e.eng.Stats() }
+
 // K returns the graphlet size the engine's table was built for.
+//
+// Deprecated: use Stats().K.
 func (e *Engine) K() int { return e.eng.K() }
 
 // OpenTime reports how long Open spent loading the table and building the
 // master urn — the cost the engine amortizes over all of its queries.
+//
+// Deprecated: use Stats().OpenTime.
 func (e *Engine) OpenTime() time.Duration { return e.eng.OpenTime() }
 
 // TableBytes is the packed in-memory count-table payload the engine holds.
+//
+// Deprecated: use Stats().TableBytes.
 func (e *Engine) TableBytes() int64 { return e.eng.TableBytes() }
+
+// RegistryConfig bounds a Registry.
+type RegistryConfig struct {
+	// MemBudget caps the total resident count-table payload in bytes;
+	// engines beyond it are evicted least-recently-used and transparently
+	// reopened on their next query. 0 means unlimited.
+	MemBudget int64
+	// CacheSize is the seeded-result cache capacity in entries (identical
+	// (graph, Query) with an explicit seed → cached Result). 0 disables
+	// the cache.
+	CacheSize int
+}
+
+// Registry is a named collection of engines — the multi-tenant half of the
+// build-once / query-many workflow. One process serves many graphs: each
+// is registered once under a name, engines are LRU-evicted under the
+// memory budget and reopened on demand (concurrent reopens of the same
+// table load it once), and repeated explicitly-seeded queries are answered
+// from the result cache without sampling at all. All methods are safe for
+// concurrent use.
+type Registry struct {
+	reg *registry.Registry
+}
+
+// GraphInfo describes one registered graph (see Registry.List).
+type GraphInfo = registry.Info
+
+// RegistryStats aggregates a registry's traffic and cache counters (see
+// Registry.Stats).
+type RegistryStats = registry.Stats
+
+// NewRegistry creates an empty registry under cfg's budget.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return &Registry{reg: registry.New(registry.Config{
+		MemBudget: cfg.MemBudget,
+		CacheSize: cfg.CacheSize,
+	})}
+}
+
+// Open registers g under name and eagerly opens its engine from the
+// persisted table, so a bad table fails here rather than on the first
+// query. Names must be unique.
+func (r *Registry) Open(name string, g *Graph, tablePath string) error {
+	_, err := r.reg.Open(name, g, tablePath)
+	return err
+}
+
+// Get returns the named engine, transparently reopening it if it was
+// evicted under the memory budget. Concurrent Gets of an evicted name
+// share one open.
+func (r *Registry) Get(ctx context.Context, name string) (*Engine, error) {
+	eng, err := r.reg.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng}, nil
+}
+
+// Count resolves the named engine and serves one query through the
+// seeded-result cache: a query with an explicit (non-zero) Seed that the
+// registry has answered before returns the cached Result without sampling
+// (cached reports which). Queries with Seed 0 bypass the cache.
+func (r *Registry) Count(ctx context.Context, name string, q Query) (res *Result, cached bool, err error) {
+	seeded := q.Seed != 0
+	q = q.withDefaults()
+	qres, hit, err := r.reg.Count(ctx, name, q.coreQuery(), seeded)
+	if err != nil {
+		return nil, false, err
+	}
+	// Render from registry metadata: a cache hit must not pull an evicted
+	// engine back into memory.
+	k, tableBytes, err := r.reg.Meta(name)
+	if err != nil {
+		return nil, false, err
+	}
+	return &Result{
+		K:          k,
+		Counts:     qres.Counts,
+		Samples:    qres.Samples,
+		SampleTime: qres.SampleTime,
+		TableBytes: tableBytes,
+		Covered:    qres.Covered,
+	}, hit, nil
+}
+
+// Evict drops the named engine's resident state (the registration stays,
+// so a later Get or Count reopens it). It reports whether an engine was
+// resident.
+func (r *Registry) Evict(name string) bool { return r.reg.Evict(name) }
+
+// List describes every registered graph, sorted by name.
+func (r *Registry) List() []GraphInfo { return r.reg.List() }
+
+// Stats aggregates the registry's traffic, cache and eviction counters.
+func (r *Registry) Stats() RegistryStats { return r.reg.Stats() }
+
+// ServeConfig parameterizes NewServer.
+type ServeConfig struct {
+	// DefaultGraph is the registered name the legacy single-graph
+	// endpoints (/count, /stats) alias onto. Empty means the first
+	// registered name in List order.
+	DefaultGraph string
+	// MaxInflight caps concurrent sampling requests; beyond it the server
+	// answers 429 with a Retry-After header. 0 means unlimited.
+	MaxInflight int
+}
+
+// NewServer wraps a registry into the versioned HTTP API served by
+// `motivo serve`: POST /v1/graphs/{name}/count, POST /v1/batch,
+// GET /v1/graphs, GET /metrics (Prometheus text format), plus the legacy
+// /count, /stats and /healthz endpoints aliased onto the default graph.
+func NewServer(r *Registry, cfg ServeConfig) http.Handler {
+	return serve.New(serve.Config{
+		Registry:     r.reg,
+		DefaultGraph: cfg.DefaultGraph,
+		MaxInflight:  cfg.MaxInflight,
+	})
+}
 
 // ExactCount returns the exact induced counts of every connected k-node
 // graphlet via exhaustive ESU enumeration — feasible for small graphs and
@@ -397,55 +552,7 @@ func NumGraphlets(k int) int64 { return graphlet.NumGraphlets(k) }
 // Describe renders a graphlet code as a short human-readable description:
 // special names for well-known shapes, otherwise edge count and degree
 // sequence.
-func Describe(k int, c Code) string {
-	deg := graphlet.Degrees(k, c)
-	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
-	switch {
-	case graphlet.IsClique(k, c):
-		return fmt.Sprintf("%d-clique", k)
-	case graphlet.IsStar(k, c):
-		return fmt.Sprintf("%d-star", k)
-	case isPath(k, c):
-		return fmt.Sprintf("%d-path", k)
-	case isCycle(k, c):
-		return fmt.Sprintf("%d-cycle", k)
-	}
-	parts := make([]string, len(deg))
-	for i, d := range deg {
-		parts[i] = fmt.Sprintf("%d", d)
-	}
-	// The code suffix disambiguates non-isomorphic graphlets that share an
-	// edge count and degree sequence.
-	return fmt.Sprintf("%dv/%de deg[%s] %s", k, c.EdgeCount(), strings.Join(parts, ","), c)
-}
-
-func isPath(k int, c Code) bool {
-	if c.EdgeCount() != k-1 {
-		return false
-	}
-	ones, twos := 0, 0
-	for _, d := range graphlet.Degrees(k, c) {
-		switch d {
-		case 1:
-			ones++
-		case 2:
-			twos++
-		}
-	}
-	return ones == 2 && twos == k-2
-}
-
-func isCycle(k int, c Code) bool {
-	if c.EdgeCount() != k {
-		return false
-	}
-	for _, d := range graphlet.Degrees(k, c) {
-		if d != 2 {
-			return false
-		}
-	}
-	return true
-}
+func Describe(k int, c Code) string { return graphlet.Describe(k, c) }
 
 // L1Error returns the ℓ1 distance between the frequency vectors of an
 // estimate and a ground truth.

@@ -3,6 +3,8 @@ package motivo
 import (
 	"context"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -187,8 +189,14 @@ func TestEngineFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if eng.K() != 4 || eng.OpenTime() <= 0 || eng.TableBytes() <= 0 {
-		t.Fatalf("engine metadata: k=%d open=%v bytes=%d", eng.K(), eng.OpenTime(), eng.TableBytes())
+	st := eng.Stats()
+	if st.K != 4 || st.Nodes != 70 || st.Edges != 210 || st.OpenTime <= 0 || st.TableBytes <= 0 {
+		t.Fatalf("engine stats: %+v", st)
+	}
+	// The deprecated per-field accessors must keep agreeing with Stats.
+	if eng.K() != st.K || eng.OpenTime() != st.OpenTime || eng.TableBytes() != st.TableBytes {
+		t.Fatalf("deprecated accessors diverge from Stats(): k=%d open=%v bytes=%d vs %+v",
+			eng.K(), eng.OpenTime(), eng.TableBytes(), st)
 	}
 	for _, strat := range []Strategy{Naive, AGS} {
 		res, err := eng.Count(context.Background(), Query{
@@ -246,5 +254,97 @@ func TestCountContextCancellation(t *testing.T) {
 	}
 	if _, err := eng.Count(ctx, Query{Samples: 100000}); err == nil {
 		t.Error("canceled query: expected error")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		ok   bool
+	}{
+		{"zero-value-defaults", Query{}, true},
+		{"explicit", Query{Strategy: AGS, Samples: 1000, Seed: 5, CoverThreshold: 100}, true},
+		{"negative-samples", Query{Samples: -1}, false},
+		{"bad-workers", Query{SampleWorkers: -1}, false},
+		{"bad-cover", Query{CoverThreshold: -3}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.q.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestRegistryFacade drives the public multi-tenant surface: named
+// engines behind one registry, the seeded-result cache, and the /v1
+// handler wired by NewServer.
+func TestRegistryFacade(t *testing.T) {
+	g := ErdosRenyi(50, 150, 41)
+	path := t.TempDir() + "/reg.tbl"
+	if _, err := BuildTable(g, Options{K: 4, Seed: 43}, path); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(RegistryConfig{CacheSize: 16})
+	if err := reg.Open("er", g, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Open("er", g, path); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	ctx := context.Background()
+	if _, err := reg.Get(ctx, "nope"); err == nil {
+		t.Fatal("unknown graph resolved")
+	}
+	eng, err := reg.Get(ctx, "er")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().K != 4 {
+		t.Fatalf("engine stats: %+v", eng.Stats())
+	}
+
+	q := Query{Samples: 2000, Seed: 43}
+	cold, cached, err := reg.Count(ctx, "er", q)
+	if err != nil || cached {
+		t.Fatalf("cold count: cached=%v err=%v", cached, err)
+	}
+	warm, cached, err := reg.Count(ctx, "er", q)
+	if err != nil || !cached {
+		t.Fatalf("warm count: cached=%v err=%v", cached, err)
+	}
+	if len(warm.Counts) != len(cold.Counts) || warm.K != cold.K {
+		t.Fatalf("cached result shape differs: %d/%d vs %d/%d", warm.K, len(warm.Counts), cold.K, len(cold.Counts))
+	}
+	for code, v := range cold.Counts {
+		if warm.Counts[code] != v {
+			t.Fatalf("cached estimate for %v differs: %v vs %v", code, warm.Counts[code], v)
+		}
+	}
+	if _, cached, err = reg.Count(ctx, "er", Query{Samples: 500}); err != nil || cached {
+		t.Fatalf("unseeded query must bypass the cache: cached=%v err=%v", cached, err)
+	}
+
+	if infos := reg.List(); len(infos) != 1 || infos[0].Name != "er" || !infos[0].Resident {
+		t.Fatalf("List: %+v", infos)
+	}
+	if st := reg.Stats(); st.CacheHits != 1 || st.CacheMisses != 1 || st.Queries != 3 {
+		t.Fatalf("registry stats: %+v", st)
+	}
+	if !reg.Evict("er") {
+		t.Fatal("Evict found nothing")
+	}
+	if _, _, err := reg.Count(ctx, "er", q); err != nil {
+		t.Fatalf("evicted engine must transparently reopen: %v", err)
+	}
+
+	// The handler answers the versioned API off the same registry.
+	h := NewServer(reg, ServeConfig{DefaultGraph: "er"})
+	req := httptest.NewRequest(http.MethodPost, "/v1/graphs/er/count",
+		strings.NewReader(`{"samples":500,"seed":3}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"graph": "er"`) {
+		t.Fatalf("NewServer /v1 count = %d: %s", w.Code, w.Body.String())
 	}
 }
