@@ -442,6 +442,92 @@ func BenchmarkTableOpen(b *testing.B) {
 	}
 }
 
+// --- Batched sampling hot path: the k=6 acceptance workload --------------
+
+// servingTable6 persists the ER storage workload's k=6 table once — the
+// graph/size pair of the batching acceptance criterion (ISSUE 7): records
+// are large enough that per-draw varint decode dominates an unamortized
+// sampler.
+func servingTable6(b *testing.B) (*graph.Graph, string) {
+	b.Helper()
+	g := storageGraph()
+	path := b.TempDir() + "/serving6.tbl"
+	if _, _, err := core.BuildTable(g, core.Config{K: 6, Seed: 1007}, path); err != nil {
+		b.Fatal(err)
+	}
+	return g, path
+}
+
+// BenchmarkEngineQueryBatched measures end-to-end sampling throughput of
+// the batched hot path at k=6: one long-lived engine, repeated queries,
+// samples/s as the headline metric. This family is the floor recorded in
+// BENCH_baseline.json — the benchjson -compare CI gate fails when its
+// samples/s regresses, so the batching win cannot silently rot.
+func BenchmarkEngineQueryBatched(b *testing.B) {
+	g, path := servingTable6(b)
+	eng, err := core.Open(g, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const budget = 2000
+	for _, bm := range []struct {
+		name string
+		q    core.Query
+	}{
+		{"naive", core.Query{Samples: budget, Seed: 1009}},
+		{"ags", core.Query{Strategy: core.AGS, Samples: budget, CoverThreshold: 200, Seed: 1009}},
+		{"naive-workers4", core.Query{Samples: budget, Seed: 1009, SampleWorkers: 4}},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Count(ctx, bm.q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*budget)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkEngineOpen measures core.Open on the k=6 table: table load +
+// validation + master-urn construction — the alias-build tail that engine
+// open parallelizes. ms/open feeds the regression gate so OpenTime cannot
+// silently creep back up.
+func BenchmarkEngineOpen(b *testing.B) {
+	g, path := servingTable6(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Open(g, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/open")
+}
+
+// BenchmarkEnginePrepareShapes measures ags.PrepareShapes on a k=6 table:
+// the per-shape alias construction that used to cost one table pass per
+// shape and now runs as a single bulk (and parallel) weighting pass —
+// the dominant tail of a long-lived engine's first AGS query. ms/prepare
+// feeds the regression gate.
+func BenchmarkEnginePrepareShapes(b *testing.B) {
+	g := storageGraph()
+	col, cat, out := buildFor(b, g, 6, true, 0)
+	urn, err := sample.NewUrn(g, col, out.tab, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ags.PrepareShapes(urn); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/prepare")
+}
+
 // --- Ground truth (ESCAPE stand-in) -------------------------------------
 
 func BenchmarkExactESU(b *testing.B) {

@@ -1,0 +1,200 @@
+package main
+
+// The -compare mode: diff two bench JSON documents per (benchmark, metric)
+// and fail on regressions beyond a tolerance. This is the CI gate that
+// keeps BENCH_baseline.json an enforced floor instead of an artifact.
+//
+// With -count > 1 each benchmark appears once per run in a document;
+// compare first aggregates to the per-metric best value (minimum for
+// time-like metrics, maximum for rates) — the best run is the least noisy
+// estimate of what the code can do, so one slow outlier among five runs
+// never fails the gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// higherBetter reports the improvement direction of a metric unit: rates
+// ("samples/s", "MB/s") improve upward, everything else ("ns/op", "B/op",
+// "allocs/op", "ms/open", ...) improves downward.
+func higherBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// benchKey identifies one logical benchmark across documents.
+type benchKey struct {
+	Pkg  string
+	Name string
+}
+
+func (k benchKey) String() string {
+	if k.Pkg == "" {
+		return k.Name
+	}
+	return k.Pkg + "." + k.Name
+}
+
+// aggregate folds a document's runs into per-(benchmark, metric) best
+// values: min for lower-is-better units, max for rates.
+func aggregate(doc *Doc) map[benchKey]map[string]float64 {
+	out := make(map[benchKey]map[string]float64)
+	for _, b := range doc.Benchmarks {
+		key := benchKey{b.Pkg, b.Name}
+		m := out[key]
+		if m == nil {
+			m = make(map[string]float64)
+			out[key] = m
+		}
+		for unit, v := range b.Metrics {
+			prev, ok := m[unit]
+			if !ok || (higherBetter(unit) && v > prev) || (!higherBetter(unit) && v < prev) {
+				m[unit] = v
+			}
+		}
+	}
+	return out
+}
+
+// Comparison statuses, from worst to best.
+const (
+	statusRegression = "REGRESSION"
+	statusMissing    = "MISSING"
+	statusOK         = "ok"
+	statusImproved   = "improved"
+	statusNew        = "new"
+)
+
+// diff is one (benchmark, metric) comparison row.
+type diff struct {
+	Bench  benchKey
+	Unit   string
+	Old    float64
+	New    float64
+	Delta  float64 // percent change relative to Old; NaN-free (0 when absent)
+	Status string
+}
+
+// failed reports whether this row should fail the gate.
+func (d diff) failed() bool { return d.Status == statusRegression || d.Status == statusMissing }
+
+// compareDocs diffs new against old with a regression tolerance in percent.
+// Every (benchmark, metric) of old must be present in new and no worse than
+// tolerance; entries only in new are reported as informational.
+func compareDocs(oldDoc, newDoc *Doc, tolerance float64) []diff {
+	oldAgg, newAgg := aggregate(oldDoc), aggregate(newDoc)
+	var out []diff
+	for key, oldMetrics := range oldAgg {
+		newMetrics := newAgg[key]
+		for unit, ov := range oldMetrics {
+			d := diff{Bench: key, Unit: unit, Old: ov}
+			nv, ok := newMetrics[unit]
+			if !ok {
+				d.Status = statusMissing
+				out = append(out, d)
+				continue
+			}
+			d.New = nv
+			if ov != 0 {
+				d.Delta = (nv - ov) / ov * 100
+			}
+			worse := d.Delta // how far new drifted in the bad direction
+			if higherBetter(unit) {
+				worse = -d.Delta
+			}
+			switch {
+			case worse > tolerance:
+				d.Status = statusRegression
+			case worse < -tolerance:
+				d.Status = statusImproved
+			default:
+				d.Status = statusOK
+			}
+			out = append(out, d)
+		}
+	}
+	for key, newMetrics := range newAgg {
+		oldMetrics := oldAgg[key]
+		for unit, nv := range newMetrics {
+			if _, ok := oldMetrics[unit]; !ok {
+				out = append(out, diff{Bench: key, Unit: unit, New: nv, Status: statusNew})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bench != out[j].Bench {
+			return out[i].Bench.String() < out[j].Bench.String()
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// loadDoc reads one bench JSON document written by this tool.
+func loadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	return &doc, nil
+}
+
+// writeDiffs renders the comparison table.
+func writeDiffs(w io.Writer, diffs []diff, tolerance float64) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tmetric\told\tnew\tdelta\tstatus\n")
+	for _, d := range diffs {
+		oldS, newS, deltaS := fmtVal(d.Old), fmtVal(d.New), fmt.Sprintf("%+.1f%%", d.Delta)
+		switch d.Status {
+		case statusMissing:
+			newS, deltaS = "-", "-"
+		case statusNew:
+			oldS, deltaS = "-", "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", d.Bench, d.Unit, oldS, newS, deltaS, d.Status)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\ntolerance: %.0f%% (best-of-count per metric; rates improve upward, everything else downward)\n", tolerance)
+}
+
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// runCompare is the -compare entry point: load both documents, diff, print
+// the table, and fail when any row regressed or went missing.
+func runCompare(w io.Writer, oldPath, newPath string, tolerance float64) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	diffs := compareDocs(oldDoc, newDoc, tolerance)
+	writeDiffs(w, diffs, tolerance)
+	failed := 0
+	for _, d := range diffs {
+		if d.failed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d (benchmark, metric) pair(s) regressed beyond %.0f%% or went missing vs %s — if a benchmark was renamed or intentionally changed, refresh the baseline (make bench-baseline)", failed, tolerance, oldPath)
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: "repro", Name: name, Procs: 1, Iterations: 1, Metrics: metrics}
+}
+
+func doc(benches ...Benchmark) *Doc {
+	return &Doc{Created: "2026-01-01T00:00:00Z", Benchmarks: benches}
+}
+
+func statusOf(t *testing.T, diffs []diff, name, unit string) diff {
+	t.Helper()
+	for _, d := range diffs {
+		if d.Bench.Name == name && d.Unit == unit {
+			return d
+		}
+	}
+	t.Fatalf("no diff row for (%s, %s) in %+v", name, unit, diffs)
+	return diff{}
+}
+
+func TestCompareStatuses(t *testing.T) {
+	old := doc(
+		bench("BenchmarkA", map[string]float64{"ns/op": 1000, "samples/s": 500}),
+		bench("BenchmarkGone", map[string]float64{"ns/op": 50}),
+	)
+	new_ := doc(
+		// ns/op +50% (regression beyond 20%), samples/s +50% (improvement).
+		bench("BenchmarkA", map[string]float64{"ns/op": 1500, "samples/s": 750}),
+		bench("BenchmarkFresh", map[string]float64{"ns/op": 10}),
+	)
+	diffs := compareDocs(old, new_, 20)
+
+	if d := statusOf(t, diffs, "BenchmarkA", "ns/op"); d.Status != statusRegression {
+		t.Errorf("ns/op +50%% should be a regression, got %q", d.Status)
+	}
+	if d := statusOf(t, diffs, "BenchmarkA", "samples/s"); d.Status != statusImproved {
+		t.Errorf("samples/s +50%% should be an improvement, got %q", d.Status)
+	}
+	if d := statusOf(t, diffs, "BenchmarkGone", "ns/op"); d.Status != statusMissing || !d.failed() {
+		t.Errorf("benchmark dropped from new doc should be MISSING and fail, got %q", d.Status)
+	}
+	if d := statusOf(t, diffs, "BenchmarkFresh", "ns/op"); d.Status != statusNew || d.failed() {
+		t.Errorf("benchmark only in new doc should be informational, got %q", d.Status)
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	old := doc(bench("BenchmarkB", map[string]float64{"ns/op": 1000, "samples/s": 1000}))
+	for _, tc := range []struct {
+		unit   string
+		newVal float64
+		want   string
+	}{
+		{"ns/op", 1100, statusOK},            // +10% slower, within 20%
+		{"ns/op", 1300, statusRegression},    // +30% slower
+		{"ns/op", 600, statusImproved},       // -40% faster
+		{"samples/s", 900, statusOK},         // -10% rate, within 20%
+		{"samples/s", 700, statusRegression}, // -30% rate
+		{"samples/s", 1500, statusImproved},  // +50% rate
+	} {
+		new_ := doc(bench("BenchmarkB", map[string]float64{tc.unit: tc.newVal}))
+		// Only compare the single unit under test: build a matching old doc.
+		oldOne := doc(bench("BenchmarkB", map[string]float64{tc.unit: old.Benchmarks[0].Metrics[tc.unit]}))
+		d := statusOf(t, compareDocs(oldOne, new_, 20), "BenchmarkB", tc.unit)
+		if d.Status != tc.want {
+			t.Errorf("%s %g -> %g: got %q, want %q", tc.unit, d.Old, tc.newVal, d.Status, tc.want)
+		}
+	}
+}
+
+func TestCompareMissingMetricFails(t *testing.T) {
+	old := doc(bench("BenchmarkC", map[string]float64{"ns/op": 100, "ms/open": 2}))
+	new_ := doc(bench("BenchmarkC", map[string]float64{"ns/op": 100}))
+	d := statusOf(t, compareDocs(old, new_, 20), "BenchmarkC", "ms/open")
+	if d.Status != statusMissing || !d.failed() {
+		t.Errorf("metric dropped from new doc should be MISSING and fail, got %q", d.Status)
+	}
+}
+
+func TestAggregateBestOfCount(t *testing.T) {
+	// Three -count runs: the gate must take min of time-like metrics and
+	// max of rates, so one noisy run can't fail the comparison.
+	d := doc(
+		bench("BenchmarkD", map[string]float64{"ns/op": 120, "samples/s": 480}),
+		bench("BenchmarkD", map[string]float64{"ns/op": 100, "samples/s": 500}),
+		bench("BenchmarkD", map[string]float64{"ns/op": 300, "samples/s": 200}),
+	)
+	agg := aggregate(d)
+	m := agg[benchKey{"repro", "BenchmarkD"}]
+	if m["ns/op"] != 100 {
+		t.Errorf("ns/op best-of-count = %g, want 100 (min)", m["ns/op"])
+	}
+	if m["samples/s"] != 500 {
+		t.Errorf("samples/s best-of-count = %g, want 500 (max)", m["samples/s"])
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, d *Doc) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", doc(bench("BenchmarkE", map[string]float64{"ns/op": 1000})))
+
+	var out strings.Builder
+	good := write("good.json", doc(bench("BenchmarkE", map[string]float64{"ns/op": 1100})))
+	if err := runCompare(&out, old, good, 20); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("table should contain an ok row:\n%s", out.String())
+	}
+
+	out.Reset()
+	bad := write("bad.json", doc(bench("BenchmarkE", map[string]float64{"ns/op": 2000})))
+	err := runCompare(&out, old, bad, 20)
+	if err == nil {
+		t.Fatalf("2x regression must fail the gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regressed") || !strings.Contains(out.String(), statusRegression) {
+		t.Errorf("failure should name the regression:\nerr: %v\ntable:\n%s", err, out.String())
+	}
+}

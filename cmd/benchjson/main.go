@@ -9,6 +9,14 @@
 // With -count > 1 every benchmark appears once per run; entries are kept
 // in input order so downstream tooling can aggregate (or inspect variance)
 // as it sees fit.
+//
+// With -compare, benchjson becomes the regression gate instead of the
+// converter: it diffs the one JSON file argument against the baseline per
+// (benchmark, metric) — best-of-count on each side — prints a table, and
+// exits non-zero when anything regressed beyond -tolerance percent or went
+// missing:
+//
+//	benchjson -compare BENCH_baseline.json -tolerance 20 BENCH_ci.json
 package main
 
 import (
@@ -147,7 +155,20 @@ func run(out string, paths []string) error {
 
 func main() {
 	out := flag.String("o", "", "output JSON file (default stdout)")
+	compare := flag.String("compare", "", "baseline JSON file: compare the one JSON file argument against it and exit non-zero on regressions")
+	tolerance := flag.Float64("tolerance", 20, "with -compare, allowed regression per (benchmark, metric) in percent")
 	flag.Parse()
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintf(os.Stderr, "benchjson: -compare takes exactly one JSON file argument, got %d\n", flag.NArg())
+			os.Exit(2)
+		}
+		if err := runCompare(os.Stdout, *compare, flag.Arg(0), *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)

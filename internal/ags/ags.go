@@ -215,40 +215,43 @@ type ShapeSet struct {
 
 // PrepareShapes builds the per-shape sampling state of the urn's table.
 // The returned set is read-only and safe to share across concurrent Run
-// calls (each run samples through clones, never the masters).
+// calls (each run samples through clones, never the masters). All shape
+// urns are built in one bulk sample.NewShapeUrns pass — a single parallel
+// walk of the size-k records instead of one table pass per shape, the
+// dominant tail of engine OpenTime at k ≥ 6.
 func PrepareShapes(urn *sample.Urn) (*ShapeSet, error) {
 	if urn.Empty() {
 		return nil, fmt.Errorf("ags: urn is empty")
 	}
 	cat := urn.Cat
 
-	// Shapes with at least one colorful occurrence, in deterministic order.
-	totals := urn.Tab.ShapeTotals(cat)
-	var shapes []treelet.Treelet
-	for _, s := range cat.UnrootedK {
-		if !totals[s].IsZero() {
-			shapes = append(shapes, s)
-		}
+	// Candidate shapes in deterministic order; empties are dropped after
+	// the bulk weighting pass (which discovers the totals anyway).
+	all := make([]treelet.Treelet, len(cat.UnrootedK))
+	copy(all, cat.UnrootedK)
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sus, err := urn.NewShapeUrns(all)
+	if err != nil {
+		return nil, err
 	}
-	if len(shapes) == 0 {
-		return nil, fmt.Errorf("ags: no k-treelet shape has colorful occurrences")
-	}
-	sort.Slice(shapes, func(i, j int) bool { return shapes[i] < shapes[j] })
 
 	ss := &ShapeSet{
-		shapes: shapes,
-		urns:   make(map[treelet.Treelet]*sample.ShapeUrn, len(shapes)),
-		rj:     make(map[treelet.Treelet]float64, len(shapes)),
-		sigma:  estimate.NewSigmaShapes(urn.K, cat),
+		urns:  make(map[treelet.Treelet]*sample.ShapeUrn, len(all)),
+		rj:    make(map[treelet.Treelet]float64, len(all)),
+		sigma: estimate.NewSigmaShapes(urn.K, cat),
 	}
-	for _, s := range shapes {
-		su, err := urn.NewShapeUrn(s)
-		if err != nil {
-			return nil, err
+	for i, s := range all {
+		if sus[i].Empty() {
+			continue
 		}
-		ss.urns[s] = su
-		ss.rj[s] = su.Total().Float64()
+		ss.shapes = append(ss.shapes, s)
+		ss.urns[s] = sus[i]
+		ss.rj[s] = sus[i].Total().Float64()
 	}
+	if len(ss.shapes) == 0 {
+		return nil, fmt.Errorf("ags: no k-treelet shape has colorful occurrences")
+	}
+	shapes := ss.shapes
 
 	// Initial shape: the one with the most colorful occurrences
 	// (Section 4: "Initially, we choose the k-treelet T with the largest
@@ -339,29 +342,43 @@ func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 	return e.res, nil
 }
 
-// runSequential is the classic one-draw-at-a-time loop: cover detection
-// after every sample, shape switches the moment a graphlet reaches c̄.
+// runSequential keeps the classic semantics — cover detection after every
+// sample, shape switches the moment a graphlet reaches c̄ — but draws
+// through SampleBatch: one batch runs from the current shape until either
+// the budget is spent, the active shape changes (the callback cuts the
+// batch short so no draw ever comes from a stale urn), or cancellation is
+// observed. Per-draw state updates are identical to the one-at-a-time
+// loop, so results are bit-identical at equal seed.
 func runSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options) error {
 	// Covered graphlets re-drawn since their last ĝ snapshot; refreshed in
 	// bulk before the next switch decision.
 	stale := make(map[graphlet.Code]bool)
-	for step := 0; step < opts.Budget; step++ {
-		if step&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+	step := 0
+	for step < opts.Budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur := e.cur
+		urns[cur].SampleBatch(opts.Rng, opts.Budget-step, func(code graphlet.Code, _ []int32) bool {
+			// The weight update precedes the draw in the pseudocode (lines
+			// 7–9); folding it in here is equivalent since drawing never
+			// reads n_j.
+			e.nj[cur]++
+			e.tallies[code]++
+			e.res.Samples++
+			step++
+			if e.covered[code] {
+				stale[code] = true
+			} else if e.tallies[code] >= int64(opts.CoverThreshold) {
+				refreshStale(e, stale)
+				e.markCovered(code)
+				e.switchShape()
+				if e.cur != cur {
+					return false
+				}
 			}
-		}
-		e.nj[e.cur]++ // weight update precedes the draw (pseudocode lines 7–9)
-		code, _ := urns[e.cur].Sample(opts.Rng)
-		e.tallies[code]++
-		if e.covered[code] {
-			stale[code] = true
-		} else if e.tallies[code] >= int64(opts.CoverThreshold) {
-			refreshStale(e, stale)
-			e.markCovered(code)
-			e.switchShape()
-		}
-		e.res.Samples++
+			return step&1023 != 0 || ctx.Err() == nil
+		})
 	}
 	return nil
 }
@@ -431,14 +448,19 @@ func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[tre
 				defer wg.Done()
 				su := st.urns[e.cur]
 				local := make(map[graphlet.Code]int64)
-				for i := 0; i < n; i++ {
-					if i&255 == 0 && ctx.Err() != nil {
-						return // partial batch; the barrier discards the epoch
-					}
-					code, _ := su.Sample(st.rng)
+				i, canceled := 0, false
+				su.SampleBatch(st.rng, n, func(code graphlet.Code, _ []int32) bool {
 					local[code]++
+					i++
+					if i&255 == 0 && ctx.Err() != nil {
+						canceled = true // partial batch; the barrier discards the epoch
+						return false
+					}
+					return true
+				})
+				if !canceled {
+					locals[w] = local
 				}
-				locals[w] = local
 			}(ws[w], w, n)
 		}
 		wg.Wait()

@@ -335,14 +335,21 @@ func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng
 	}
 	tallies := make(map[graphlet.Code]int64)
 	if workers <= 1 {
-		for i := 0; i < budget; i++ {
-			if i&1023 == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			code, _ := urn.Sample(rng)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		i, canceled := 0, false
+		urn.SampleBatch(rng, budget, func(code graphlet.Code, _ []int32) bool {
 			tallies[code]++
+			i++
+			if i&1023 == 0 && ctx.Err() != nil {
+				canceled = true
+				return false
+			}
+			return true
+		})
+		if canceled {
+			return nil, ctx.Err()
 		}
 		return tallies, nil
 	}
@@ -363,12 +370,18 @@ func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng
 			clone := urn.Clone()
 			local := make(map[graphlet.Code]int64)
 			r := rand.New(rand.NewSource(seed))
-			for i := 0; i < n; i++ {
-				if i&1023 == 0 && ctx.Err() != nil {
-					return // partial worker tallies are discarded below
-				}
-				code, _ := clone.Sample(r)
+			i, canceled := 0, false
+			clone.SampleBatch(r, n, func(code graphlet.Code, _ []int32) bool {
 				local[code]++
+				i++
+				if i&1023 == 0 && ctx.Err() != nil {
+					canceled = true
+					return false
+				}
+				return true
+			})
+			if canceled {
+				return // partial worker tallies are discarded below
 			}
 			mu.Lock()
 			for c, v := range local {

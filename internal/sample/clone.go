@@ -8,10 +8,12 @@ import (
 
 // Clone returns an independent Urn over the same (immutable) graph, table
 // and catalog: fresh neighbor buffers and canonicalization cache, shared
-// alias table (it is read-only after construction). Use one clone per
-// goroutine — the paper's sampling phase is embarrassingly parallel
-// ("samples are by definition independent and are taken by different
-// threads", Section 3.3).
+// alias table (it is read-only after construction) and shared
+// decoded-record/sweep caches (concurrency-safe; their entries are pure
+// functions of the table, so sharing only amortizes, never perturbs). Use
+// one clone per goroutine — the paper's sampling phase is embarrassingly
+// parallel ("samples are by definition independent and are taken by
+// different threads", Section 3.3).
 func (u *Urn) Clone() *Urn {
 	return &Urn{
 		G: u.G, Col: u.Col, Tab: u.Tab, Cat: u.Cat, K: u.K,
@@ -23,6 +25,8 @@ func (u *Urn) Clone() *Urn {
 		buffers:         make(map[bufKey][]childChoice),
 		canonCache:      make(map[graphlet.Code]graphlet.Code),
 		synthCache:      table.NewSynthCache(),
+		decode:          u.decode, // concurrency-safe, shared across clones
+		sweeps:          u.sweeps,
 	}
 }
 

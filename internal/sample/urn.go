@@ -17,11 +17,35 @@
 // degree ≥ BufferThreshold, one sweep draws BufferSize i.i.d. choices and
 // caches the unused ones for future requests, so high-degree nodes are
 // swept only a fraction of the time.
+//
+// # The batched hot path
+//
+// Sampling revisits the same few hundred hot records millions of times, so
+// per-draw varint decode and per-sweep recomputation dominate the naive
+// implementation. Every urn therefore amortizes three ways, and
+// SampleBatch exposes the draw loop the estimators consume:
+//
+//   - a decoded-record cache (table.DecodedCache) flattens hot records —
+//     synthesis included — into sorted key + cumulative-count arrays, so
+//     occ/count/iter/sample become binary searches instead of varint walks;
+//   - a sweep cache memoizes chooseChild's candidate distribution per
+//     (node, colored treelet), so repeat visits pay one Float64 and one
+//     binary search instead of a full neighbor sweep;
+//   - scratch buffers (sampled nodes, rooted-form cumulatives) are reused
+//     across the draws of a batch instead of allocated per draw.
+//
+// All three are invisible to results: cached values are bit-identical to
+// what recomputation would produce and RNG consumption per draw is
+// unchanged, so a SampleBatch sequence equals repeated Sample calls
+// draw-for-draw at equal seed — with caches on, off, or any mix. The
+// determinism tests in batch_test.go pin this down.
 package sample
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/alias"
 	"repro/internal/coloring"
@@ -31,6 +55,16 @@ import (
 	"repro/internal/treelet"
 	"repro/internal/u128"
 )
+
+// DefaultDecodePairBudget caps the decoded-record cache: decoded pairs
+// cost ~24 bytes each, so the default bounds the cache near 6 MB per urn
+// (the cache is shared by all clones) — enough to keep every hot record of
+// the paper-scale workloads resident.
+const DefaultDecodePairBudget = 1 << 18
+
+// DefaultSweepCandBudget caps the sweep cache by total cached candidates
+// (~24 bytes each); see DefaultDecodePairBudget for the sizing rationale.
+const DefaultSweepCandBudget = 1 << 18
 
 // Urn draws uniform colorful k-treelet occurrences and their induced
 // graphlets. It is not safe for concurrent use; create one Urn per
@@ -56,8 +90,17 @@ type Urn struct {
 	canonCache map[graphlet.Code]graphlet.Code
 	synthCache *table.SynthCache // memo for smart-star neighbor sums
 
+	// The amortization caches hold pure functions of the immutable table,
+	// so they are concurrency-safe and shared across clones: a record is
+	// decoded (and a sweep computed) once per urn lifetime, not once per
+	// clone or per query.
+	decode *table.DecodedCache
+	sweeps *sweepCache
+
+	nodesBuf []int32 // sampled-copy scratch, reused across draws
+
 	// Stats observable by experiments.
-	Sweeps     int64 // neighbor sweeps performed
+	Sweeps     int64 // neighbor sweeps performed (sweep-cache misses)
 	BufferHits int64 // child choices served from a buffer
 }
 
@@ -71,8 +114,59 @@ type childChoice struct {
 	cpp treelet.Colored
 }
 
+// sweepEntry is one memoized chooseChild distribution: the candidate
+// (neighbor, colored first-child) pairs in sweep order with their float
+// cumulative weights. Values are exactly what a fresh sweep would compute.
+type sweepEntry struct {
+	cands []childChoice
+	cum   []float64
+	total float64
+}
+
+// sweepCache memoizes sweep distributions under a total candidate budget;
+// like table.DecodedCache it is concurrency-safe, frozen once the budget
+// is spent, and shared across the clones of one urn. Concurrent misses may
+// compute the same sweep twice; the first published entry wins (entries
+// are identical, so callers cannot tell).
+type sweepCache struct {
+	mu     sync.RWMutex
+	m      map[bufKey]*sweepEntry
+	cands  int
+	budget int
+}
+
+func newSweepCache(budget int) *sweepCache {
+	return &sweepCache{m: make(map[bufKey]*sweepEntry), budget: budget}
+}
+
+// get returns the cached sweep of key, or nil (with ok=false reporting
+// whether the cache still admits insertions).
+func (c *sweepCache) get(key bufKey) (sw *sweepEntry, admits bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[key], c.cands < c.budget
+}
+
+func (c *sweepCache) put(key bufKey, sw *sweepEntry) *sweepEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prior, ok := c.m[key]; ok {
+		return prior
+	}
+	if c.cands >= c.budget {
+		return sw
+	}
+	c.m[key] = sw
+	c.cands += len(sw.cands)
+	return sw
+}
+
 // NewUrn prepares the urn: the alias table over root nodes weighted by
-// occ(v) (built in O(n), Section 3.3) and the total treelet count t.
+// occ(v) (built in O(n), Section 3.3) and the total treelet count t. The
+// per-node totals pass — the dominant open-time cost on smart tables,
+// where each total runs star synthesis — fans out over GOMAXPROCS
+// goroutines; the result is identical to the sequential pass (per-node
+// totals are independent, and the alias weights assemble in node order).
 func NewUrn(g *graph.Graph, col *coloring.Coloring, tab *table.Table, cat *treelet.Catalog) (*Urn, error) {
 	k := tab.K
 	if cat.K < k {
@@ -85,10 +179,38 @@ func NewUrn(g *graph.Graph, col *coloring.Coloring, tab *table.Table, cat *treel
 		buffers:         make(map[bufKey][]childChoice),
 		canonCache:      make(map[graphlet.Code]graphlet.Code),
 		synthCache:      table.NewSynthCache(),
+		decode:          table.NewDecodedCache(DefaultDecodePairBudget),
+		sweeps:          newSweepCache(DefaultSweepCandBudget),
 	}
-	weights := make([]float64, 0, g.NumNodes())
-	for v := 0; v < g.NumNodes(); v++ {
-		t := tab.Rec(k, int32(v)).WithCache(u.synthCache).Total()
+	n := g.NumNodes()
+	totals := make([]u128.Uint128, n)
+	workers := parallelWorkers(n)
+	if workers <= 1 {
+		for v := 0; v < n; v++ {
+			totals[v] = tab.Rec(k, int32(v)).WithCache(u.synthCache).Total()
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, n)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				cache := table.NewSynthCache() // synthesis memo is not concurrency-safe
+				for v := lo; v < hi; v++ {
+					totals[v] = tab.Rec(k, int32(v)).WithCache(cache).Total()
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	weights := make([]float64, 0, n)
+	for v := 0; v < n; v++ {
+		t := totals[v]
 		if !t.IsZero() {
 			u.roots = append(u.roots, int32(v))
 			weights = append(weights, t.Float64())
@@ -97,6 +219,16 @@ func NewUrn(g *graph.Graph, col *coloring.Coloring, tab *table.Table, cat *treel
 	}
 	u.rootAlias = alias.New(weights)
 	return u, nil
+}
+
+// parallelWorkers sizes a construction fan-out: GOMAXPROCS goroutines,
+// but never more than one per 256 items (tiny inputs stay sequential).
+func parallelWorkers(items int) int {
+	w := runtime.GOMAXPROCS(0)
+	if cap := items/256 + 1; w > cap {
+		w = cap
+	}
+	return w
 }
 
 // Total returns t, the number of colorful k-treelet copies in the urn.
@@ -114,6 +246,28 @@ func (u *Urn) Total() u128.Uint128 {
 // unlucky colorings of tiny graphs).
 func (u *Urn) Empty() bool { return u.rootAlias == nil }
 
+// view returns the merged record view of (h, v) with the urn's synthesis
+// memo attached — the uncached read path.
+func (u *Urn) view(h int, v int32) table.View {
+	return u.Tab.Rec(h, v).WithCache(u.synthCache)
+}
+
+// SetCacheBudgets replaces the urn's shared amortization caches with fresh
+// ones holding at most decodePairs decoded pairs and sweepCands sweep
+// candidates (≤ 0 disables the respective cache — results are unchanged,
+// only slower). Call before the first draw and before cloning; existing
+// clones keep the old caches.
+func (u *Urn) SetCacheBudgets(decodePairs, sweepCands int) {
+	u.decode = table.NewDecodedCache(decodePairs)
+	u.sweeps = newSweepCache(sweepCands)
+}
+
+// decRec returns the decoded form of record (h, v) when the decode cache
+// admits it, nil otherwise (caller falls back to the packed view).
+func (u *Urn) decRec(h int, v int32) *table.Decoded {
+	return u.decode.Get(h, v, u.view(h, v))
+}
+
 // Sample draws one uniform colorful k-treelet copy and returns the
 // canonical code of the induced graphlet plus the sampled nodes. The node
 // slice is reused across calls; copy it to retain.
@@ -121,17 +275,53 @@ func (u *Urn) Sample(rng *rand.Rand) (graphlet.Code, []int32) {
 	if u.Empty() {
 		panic("sample: urn is empty")
 	}
+	return u.sampleOne(rng)
+}
+
+// SampleBatch draws up to n uniform copies, calling fn after every draw
+// with the canonical induced code and the sampled nodes (the node slice is
+// reused across draws; copy it to retain). It stops early when fn returns
+// false and returns the number of draws made. Draw-for-draw, RNG
+// consumption and results are bit-identical to repeated Sample calls, so
+// batch size never changes a seeded sequence; batching exists to amortize
+// record decode, sweep computation and scratch allocation across the
+// draws between two estimator decisions.
+func (u *Urn) SampleBatch(rng *rand.Rand, n int, fn func(graphlet.Code, []int32) bool) int {
+	if u.Empty() {
+		panic("sample: urn is empty")
+	}
+	for i := 0; i < n; i++ {
+		code, nodes := u.sampleOne(rng)
+		if !fn(code, nodes) {
+			return i + 1
+		}
+	}
+	return n
+}
+
+// sampleOne is one draw of the hot path: root by alias, colored treelet
+// within the root's (decoded) record, recursive materialization.
+func (u *Urn) sampleOne(rng *rand.Rand) (graphlet.Code, []int32) {
 	v := u.roots[u.rootAlias.Next(rng)]
-	tc := u.Tab.Rec(u.K, v).WithCache(u.synthCache).Sample(rng)
+	var tc treelet.Colored
+	if d := u.decRec(u.K, v); d != nil {
+		tc = d.Sample(rng)
+	} else {
+		tc = u.view(u.K, v).Sample(rng)
+	}
 	return u.materialize(v, tc, rng)
 }
 
 // materialize expands a rooted colored treelet choice at v into a concrete
-// copy and canonicalizes its induced subgraph.
+// copy and canonicalizes its induced subgraph. The returned node slice is
+// the urn's reusable scratch buffer.
 func (u *Urn) materialize(v int32, tc treelet.Colored, rng *rand.Rand) (graphlet.Code, []int32) {
-	nodes := make([]int32, 0, u.K)
-	u.sampleCopy(v, tc, rng, &nodes)
-	return u.Induced(nodes), nodes
+	if u.nodesBuf == nil {
+		u.nodesBuf = make([]int32, 0, u.K)
+	}
+	u.nodesBuf = u.nodesBuf[:0]
+	u.sampleCopy(v, tc, rng, &u.nodesBuf)
+	return u.Induced(u.nodesBuf), u.nodesBuf
 }
 
 // sampleCopy recursively samples a uniform copy of tc rooted at v,
@@ -160,50 +350,92 @@ func (u *Urn) chooseChild(v int32, tc treelet.Colored, rng *rand.Rand) childChoi
 		u.BufferHits++
 		return ch
 	}
-	tree := tc.Tree()
-	tpp := u.Cat.FirstChild(tree)
-	tp := u.Cat.Rest(tree)
-	hpp, hp := tpp.Size(), tp.Size()
-	C := tc.Colors()
-	rv := u.Tab.Rec(hp, v).WithCache(u.synthCache)
-
-	u.Sweeps++
-	var cands []childChoice
-	var cum []float64
-	total := 0.0
-	for _, w := range u.G.Neighbors(v) {
-		u.Tab.Rec(hpp, w).WithCache(u.synthCache).ShapeEach(tpp, func(cpp treelet.Colored, cu u128.Uint128) bool {
-			cs := cpp.Colors()
-			if cs&C != cs { // C'' must be a subset of C
-				return true
-			}
-			cp := treelet.MakeColored(tp, C&^cs)
-			cv := rv.Count(cp)
-			if cv.IsZero() {
-				return true
-			}
-			total += cv.Float64() * cu.Float64()
-			cands = append(cands, childChoice{w, cpp})
-			cum = append(cum, total)
-			return true
-		})
-	}
-	if len(cands) == 0 {
+	sw := u.sweepFor(key)
+	if len(sw.cands) == 0 {
 		panic(fmt.Sprintf("sample: no child choice for treelet %v at node %d (corrupt table?)", tc, v))
 	}
 	draws := 1
 	if u.G.Degree(v) >= u.BufferThreshold {
 		draws = u.BufferSize
 	}
+	if draws == 1 {
+		r := rng.Float64() * sw.total
+		return sw.cands[searchFloat(sw.cum, r)]
+	}
 	picks := make([]childChoice, draws)
 	for d := range picks {
-		r := rng.Float64() * total
-		picks[d] = cands[searchFloat(cum, r)]
+		r := rng.Float64() * sw.total
+		picks[d] = sw.cands[searchFloat(sw.cum, r)]
 	}
-	if draws > 1 {
-		u.buffers[key] = picks[:draws-1]
-	}
+	u.buffers[key] = picks[:draws-1]
 	return picks[draws-1]
+}
+
+// sweepFor returns the candidate distribution of (v, tc), memoized in the
+// shared sweep cache. Cached entries are bit-identical to a fresh sweep
+// (the float cumulatives are computed once and reused), so the cache
+// cannot perturb draw sequences.
+func (u *Urn) sweepFor(key bufKey) *sweepEntry {
+	sw, admits := u.sweeps.get(key)
+	if sw != nil {
+		return sw
+	}
+	sw = u.computeSweep(key.v, key.tc)
+	if admits {
+		sw = u.sweeps.put(key, sw)
+	}
+	return sw
+}
+
+// computeSweep performs one neighbor sweep: the candidate (neighbor,
+// colored first-child) pairs of tc at v with cumulative weights
+// c(T”_C”, u) · c(T'_{C\C”}, v), reading records through the decode cache
+// when resident.
+func (u *Urn) computeSweep(v int32, tc treelet.Colored) *sweepEntry {
+	tree := tc.Tree()
+	tpp := u.Cat.FirstChild(tree)
+	tp := u.Cat.Rest(tree)
+	hpp, hp := tpp.Size(), tp.Size()
+	C := tc.Colors()
+
+	u.Sweeps++
+	sw := &sweepEntry{}
+	dv := u.decRec(hp, v)
+	var rv table.View
+	if dv == nil {
+		rv = u.view(hp, v)
+	}
+	countV := func(cp treelet.Colored) u128.Uint128 {
+		if dv != nil {
+			return dv.Count(cp)
+		}
+		return rv.Count(cp)
+	}
+	each := func(w int32) func(treelet.Colored, u128.Uint128) bool {
+		return func(cpp treelet.Colored, cu u128.Uint128) bool {
+			cs := cpp.Colors()
+			if cs&C != cs { // C'' must be a subset of C
+				return true
+			}
+			cp := treelet.MakeColored(tp, C&^cs)
+			cv := countV(cp)
+			if cv.IsZero() {
+				return true
+			}
+			sw.total += cv.Float64() * cu.Float64()
+			sw.cands = append(sw.cands, childChoice{w, cpp})
+			sw.cum = append(sw.cum, sw.total)
+			return true
+		}
+	}
+	for _, w := range u.G.Neighbors(v) {
+		if dw := u.decRec(hpp, w); dw != nil {
+			dw.ShapeEach(tpp, each(w))
+		} else {
+			u.view(hpp, w).ShapeEach(tpp, each(w))
+		}
+	}
+	return sw
 }
 
 // searchFloat returns the first index with cum[i] > r (clamped to the last
