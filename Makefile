@@ -13,7 +13,7 @@ GO ?= go
 # (runner-to-runner CPU variance); allocation metrics are machine-
 # independent, so real regressions still surface well inside it.
 BENCH_GOMAXPROCS ?= 1
-BENCH_GATED      ?= ^BenchmarkEngine
+BENCH_GATED      ?= ^(BenchmarkEngine|BenchmarkTableOpen)
 BENCH_GATED_TIME ?= 400ms
 BENCH_TOLERANCE  ?= 60
 
@@ -106,11 +106,12 @@ quickstart:
 	$(GO) run ./examples/quickstart
 
 # The serve smoke CI runs: build two tiny tables, start a two-graph
-# `motivo serve`, and drive the v1 API over HTTP — list both graphs, run a
-# seeded count twice asserting the repeat is a byte-identical cache hit
-# (visible in /metrics), post a batch, and keep the legacy /count + /stats
-# aliases honest (needs curl + jq). One copy of the script — the workflow
-# step calls this target.
+# `motivo serve`, and drive the v1 API over HTTP — list both graphs
+# (asserting both are served off memory mappings, with the mapped-bytes
+# gauge visible in /metrics), run a seeded count twice asserting the
+# repeat is a byte-identical cache hit (visible in /metrics), post a
+# batch, and keep the legacy /count + /stats aliases honest (needs curl +
+# jq). One copy of the script — the workflow step calls this target.
 serve-smoke:
 	$(GO) build -o /tmp/motivo-smoke ./cmd/motivo
 	/tmp/motivo-smoke gen -type er -n 80 -m 240 -seed 1 -o /tmp/motivo-smoke-er.txt
@@ -123,7 +124,9 @@ serve-smoke:
 	pid=$$!; trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 50); do curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; sleep 0.2; done; \
 	curl -fsS http://127.0.0.1:18080/v1/graphs \
-		| jq -e '(.graphs | length) == 2 and .graphs[0].name == "ba" and .graphs[1].name == "er" and (.graphs | all(.resident))'; \
+		| jq -e '(.graphs | length) == 2 and .graphs[0].name == "ba" and .graphs[1].name == "er" and (.graphs | all(.resident)) and (.graphs | all(.mappedBytes > 0))'; \
+	curl -fsS http://127.0.0.1:18080/metrics \
+		| awk '$$1 == "motivo_mapped_table_bytes" { found = 1; if ($$2 + 0 <= 0) exit 1 } END { exit found ? 0 : 1 }'; \
 	curl -fsS -X POST http://127.0.0.1:18080/v1/graphs/er/count \
 		-d '{"strategy":"ags","samples":5000,"seed":7,"top":3}' -o /tmp/motivo-smoke-cold.json; \
 	jq -e '.graph == "er" and .k == 4 and (.counts | length) > 0 and .samples == 5000' /tmp/motivo-smoke-cold.json; \

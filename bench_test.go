@@ -426,6 +426,10 @@ func BenchmarkTableSave(b *testing.B) {
 
 // BenchmarkTableOpen measures opening a persisted table — the cost every
 // "query many" run pays instead of a build (compare BenchmarkFig3BuildMotivo).
+// The heap path reads, copies and validates every level; the mapped path
+// parses only the header and level directory, so it stays O(ms) no matter
+// the arena size (the ISSUE 8 startup claim; this family feeds the
+// regression gate).
 func BenchmarkTableOpen(b *testing.B) {
 	tab, col := benchBuiltTable(b)
 	path := b.TempDir() + "/bench.tbl"
@@ -433,13 +437,32 @@ func BenchmarkTableOpen(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(n)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := table.LoadFile(path); err != nil {
-			b.Fatal(err)
+	b.Run("heap", func(b *testing.B) {
+		b.SetBytes(n)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := table.LoadFile(path); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("mapped", func(b *testing.B) {
+		if mt, _, err := table.OpenMapped(path); err != nil {
+			b.Skipf("mapping unavailable here: %v", err)
+		} else {
+			mt.Close()
+		}
+		b.SetBytes(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mt, _, err := table.OpenMapped(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Close per iteration: finalizers run too late to keep a tight
+			// open loop under the kernel's per-process mapping limit.
+			mt.Close()
+		}
+	})
 }
 
 // --- Batched sampling hot path: the k=6 acceptance workload --------------
@@ -505,6 +528,35 @@ func BenchmarkEngineOpen(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/open")
+}
+
+// BenchmarkEngineReopen measures core.OpenMode on the k=6 table per map
+// mode — the LRU-eviction reopen cost a multi-tenant server pays every
+// time a cold graph is queried. The mapped reopen skips the level read,
+// copy and validation entirely, which is what makes eviction cheap enough
+// to run with a tight memory budget. ms/open feeds the regression gate.
+func BenchmarkEngineReopen(b *testing.B) {
+	g, path := servingTable6(b)
+	for _, bm := range []struct {
+		name string
+		mode core.MapMode
+	}{
+		{"heap", core.MapOff},
+		{"mapped", core.MapRequire},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			if _, err := core.OpenMode(g, path, bm.mode); err != nil {
+				b.Skipf("open mode %v unavailable here: %v", bm.mode, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OpenMode(g, path, bm.mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/open")
+		})
+	}
 }
 
 // BenchmarkEnginePrepareShapes measures ags.PrepareShapes on a k=6 table:

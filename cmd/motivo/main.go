@@ -14,8 +14,10 @@
 //	motivo exact -i graph.txt -k 4
 //
 // `build -o` persists the count table; `count -table` opens it and skips
-// the build — build once, query many. `serve` keeps a registry of named
-// engines open and answers versioned JSON count queries over HTTP
+// the build — build once, query many. Persisted MvT4 tables are
+// memory-mapped by default (`-map auto|off|require` on count and serve;
+// `build -format 3` writes the legacy format). `serve` keeps a registry
+// of named engines open and answers versioned JSON count queries over HTTP
 // (`/v1/graphs/{name}/count`, `/v1/batch`, `/v1/graphs`, `/metrics`; see
 // internal/serve for the API). `-graph` is repeatable; the first named
 // graph is the default that the legacy `/count` alias serves.
@@ -143,6 +145,7 @@ func cmdBuild(args []string) error {
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
 	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	out := fs.String("o", "", "persist the count table (arena + index + coloring) to this file")
+	format := fs.Int("format", 4, "table file format version for -o: 4 (checksummed, mmap-servable) or 3 (legacy)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,6 +154,9 @@ func cmdBuild(args []string) error {
 	}
 	if *k < 1 || *k > treelet.MaxK {
 		return fmt.Errorf("build: -k %d out of range [1,%d]", *k, treelet.MaxK)
+	}
+	if *format != 3 && *format != 4 {
+		return fmt.Errorf("build: -format %d unsupported (want 4 or 3)", *format)
 	}
 	if *lambda > 0 {
 		if err := coloring.ValidateLambda(*k, *lambda); err != nil {
@@ -190,7 +196,11 @@ func cmdBuild(args []string) error {
 		fmt.Printf("  level %d: %v\n", h, stats.LevelTime[h].Round(1e6))
 	}
 	if *out != "" {
-		n, err := table.SaveFile(*out, tab, col)
+		save := table.SaveFile
+		if *format == 3 {
+			save = table.SaveFileV3
+		}
+		n, err := save(*out, tab, col)
 		if err != nil {
 			return err
 		}
@@ -213,6 +223,7 @@ func cmdCount(args []string) error {
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
 	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	tablePath := fs.String("table", "", "open a persisted count table (`motivo build -o`) instead of building")
+	mapMode := fs.String("map", "auto", "how -table is opened: auto (mmap, heap fallback), off (heap), require (mmap or fail)")
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
 	verbose := fs.Bool("v", false, "print phase timing detail (open vs build vs sampling, AGS coverage)")
@@ -230,6 +241,10 @@ func cmdCount(args []string) error {
 		return fmt.Errorf("count: %w", err)
 	}
 	if err := core.ValidateSampleWorkers(*sampleWorkers); err != nil {
+		return fmt.Errorf("count: %w", err)
+	}
+	mmode, err := core.ParseMapMode(*mapMode)
+	if err != nil {
 		return fmt.Errorf("count: %w", err)
 	}
 	if *tablePath != "" {
@@ -257,6 +272,7 @@ func cmdCount(args []string) error {
 		Lambda:        *lambda, Spill: *spill, Seed: *seed,
 		MaterializeStars: !*smartStars,
 		TablePath:        *tablePath,
+		MapTable:         mmode,
 	})
 	if err != nil {
 		return err
@@ -336,8 +352,13 @@ func cmdServe(args []string) error {
 	memBudget := fs.Int64("mem-budget", 0, "resident table-bytes budget; engines beyond it are LRU-evicted (0 = unlimited)")
 	cacheSize := fs.Int("cache-size", 1024, "seeded-result cache capacity in entries (0 disables)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent sampling requests; beyond it answer 429 (0 = unlimited)")
+	mapMode := fs.String("map", "auto", "how tables are opened: auto (mmap, heap fallback), off (heap), require (mmap or fail)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	mmode, err := core.ParseMapMode(*mapMode)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if (*in == "") != (*tablePath == "") {
 		return fmt.Errorf("serve: -i and -table are required together")
@@ -352,7 +373,7 @@ func cmdServe(args []string) error {
 	if *cacheSize < 0 || *memBudget < 0 || *maxInflight < 0 {
 		return fmt.Errorf("serve: -cache-size, -mem-budget and -max-inflight must be ≥ 0")
 	}
-	reg := registry.New(registry.Config{MemBudget: *memBudget, CacheSize: *cacheSize})
+	reg := registry.New(registry.Config{MemBudget: *memBudget, CacheSize: *cacheSize, MapTable: mmode})
 	for _, spec := range graphs {
 		g, err := loadGraph(spec.graphPath)
 		if err != nil {
@@ -363,9 +384,13 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("serve: graph %q: %w", spec.name, err)
 		}
 		st := eng.Stats()
-		fmt.Fprintf(os.Stderr, "motivo: graph %q: opened %s in %v (k=%d, %.1f MiB)\n",
+		residency := "heap"
+		if st.MappedBytes > 0 {
+			residency = fmt.Sprintf("mapped %.1f MiB", float64(st.MappedBytes)/(1<<20))
+		}
+		fmt.Fprintf(os.Stderr, "motivo: graph %q: opened %s in %v (k=%d, %.1f MiB, %s)\n",
 			spec.name, spec.tablePath, st.OpenTime.Round(1e6), st.K,
-			float64(st.TableBytes)/(1<<20))
+			float64(st.TableBytes)/(1<<20), residency)
 	}
 	fmt.Fprintf(os.Stderr, "motivo: serving %d graph(s) on %s (default %q, mem-budget %d, cache %d, max-inflight %d)\n",
 		len(graphs), *addr, graphs[0].name, *memBudget, *cacheSize, *maxInflight)

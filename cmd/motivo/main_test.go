@@ -84,6 +84,7 @@ func TestCommandErrorMessages(t *testing.T) {
 		{"build/k-too-large", cmdBuild, []string{"-i", graphPath, "-k", "99"}, "out of range [1,11]"},
 		{"build/bad-lambda", cmdBuild, []string{"-i", graphPath, "-k", "4", "-lambda", "9"}, "lambda"},
 		{"build/missing-file", cmdBuild, []string{"-i", "/definitely/not/here"}, "no such file"},
+		{"build/bad-format", cmdBuild, []string{"-i", graphPath, "-k", "4", "-format", "2"}, "-format 2 unsupported"},
 
 		{"count/missing-input", cmdCount, []string{}, "count: -i is required"},
 		{"count/bad-strategy", cmdCount, []string{"-i", graphPath, "-strategy", "magic"}, `unknown strategy "magic"`},
@@ -95,6 +96,7 @@ func TestCommandErrorMessages(t *testing.T) {
 		{"count/table-vs-spill", cmdCount, []string{"-i", graphPath, "-table", tblPath, "-spill"}, "-spill is a build-phase option"},
 		{"count/table-vs-materialize", cmdCount, []string{"-i", graphPath, "-table", tblPath, "-smart-stars=false"}, "-smart-stars is a build-phase option"},
 		{"count/bad-flag-value", cmdCount, []string{"-i", graphPath, "-samples", "lots"}, "invalid value"},
+		{"count/bad-map-mode", cmdCount, []string{"-i", graphPath, "-table", tblPath, "-map", "sometimes"}, `unknown map mode "sometimes"`},
 		{"count/wrong-k-for-table", cmdCount, []string{"-i", graphPath, "-table", tblPath, "-k", "5", "-samples", "10"}, "built for k=4, run wants k=5"},
 
 		{"serve/missing-flags", cmdServe, []string{}, "serve: -i and -table are required"},
@@ -104,6 +106,7 @@ func TestCommandErrorMessages(t *testing.T) {
 		{"serve/graph-empty-name", cmdServe, []string{"-graph", "=g.txt:t.tbl"}, "want name=graph.txt:table.tbl"},
 		{"serve/graph-duplicate", cmdServe, []string{"-graph", "er=" + graphPath + ":" + tblPath, "-graph", "er=" + graphPath + ":" + tblPath}, `duplicate graph name "er"`},
 		{"serve/negative-cache", cmdServe, []string{"-graph", "er=" + graphPath + ":" + tblPath, "-cache-size", "-1"}, "must be ≥ 0"},
+		{"serve/bad-map-mode", cmdServe, []string{"-graph", "er=" + graphPath + ":" + tblPath, "-map", "maybe"}, `unknown map mode "maybe"`},
 		{"serve/missing-graph-file", cmdServe, []string{"-graph", "er=/definitely/not/here:" + tblPath}, `graph "er"`},
 
 		{"exact/missing-input", cmdExact, []string{}, "exact: -i is required"},
@@ -146,6 +149,30 @@ func TestBuildOutputModes(t *testing.T) {
 	}
 	if !strings.Contains(out, "materialized (all records stored)") {
 		t.Fatalf("-smart-stars=false build does not report materialization:\n%s", out)
+	}
+}
+
+// TestBuildFormat3DowngradePath pins the CLI downgrade workflow: -format 3
+// writes a legacy MvT3 file that the default auto map mode serves via the
+// heap fallback, while -map require refuses it.
+func TestBuildFormat3DowngradePath(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	tblPath := filepath.Join(t.TempDir(), "g3.tbl")
+	if _, err := captureStdout(t, func() error {
+		return cmdBuild([]string{"-i", graphPath, "-k", "4", "-format", "3", "-o", tblPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := captureStdout(t, func() error {
+		return cmdCount([]string{"-i", graphPath, "-k", "4", "-table", tblPath, "-map", "require", "-samples", "100"})
+	})
+	if err == nil || !strings.Contains(err.Error(), "not mappable") {
+		t.Fatalf("-map require on a v3 file: want a not-mappable error, got %v", err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdCount([]string{"-i", graphPath, "-k", "4", "-table", tblPath, "-samples", "100"})
+	}); err != nil {
+		t.Fatalf("-map auto must fall back to the heap loader on a v3 file: %v", err)
 	}
 }
 

@@ -40,9 +40,10 @@
 //     the current implementation: the reload stands in for the paper's
 //     memory-mapped reads, so it bounds the working set only *during* a
 //     pass — completed lower levels stay resident (they are randomly
-//     accessed by every later pass and by the sampler). True
-//     larger-than-RAM tables need mmap-backed lower levels, a planned
-//     extension.
+//     accessed by every later pass and by the sampler). Larger-than-RAM
+//     tables are a serving-side feature: persist with `motivo build -o`
+//     and reopen through table.OpenMapped, which serves every level
+//     zero-copy off the page cache (see internal/table/mmap.go).
 package build
 
 import (

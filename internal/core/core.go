@@ -54,6 +54,50 @@ func ParseStrategy(name string) (Strategy, error) {
 	return 0, fmt.Errorf("core: unknown strategy %q (want naive or ags)", name)
 }
 
+// MapMode selects how a persisted table file is opened: memory-mapped
+// (zero-copy, O(ms) open, page-cache residency) or loaded onto the heap.
+type MapMode int
+
+const (
+	// MapAuto — the default — maps MvT4 files and falls back to the heap
+	// loader for anything mapping cannot serve (older format versions,
+	// platforms without mmap). The right choice everywhere except tests
+	// that pin one path.
+	MapAuto MapMode = iota
+	// MapOff always loads onto the heap with eager whole-file validation.
+	MapOff
+	// MapRequire maps or fails — for deployments where a silent fallback
+	// to heap loading (and its RAM footprint) would be an outage, not a
+	// convenience.
+	MapRequire
+)
+
+func (m MapMode) String() string {
+	switch m {
+	case MapAuto:
+		return "auto"
+	case MapOff:
+		return "off"
+	case MapRequire:
+		return "require"
+	}
+	return fmt.Sprintf("MapMode(%d)", int(m))
+}
+
+// ParseMapMode converts a mode name (as accepted by the -map CLI flag)
+// into a MapMode; it is the inverse of MapMode.String.
+func ParseMapMode(name string) (MapMode, error) {
+	switch name {
+	case "auto":
+		return MapAuto, nil
+	case "off":
+		return MapOff, nil
+	case "require":
+		return MapRequire, nil
+	}
+	return 0, fmt.Errorf("core: unknown map mode %q (want auto, off or require)", name)
+}
+
 // ValidateCoverThreshold checks the AGS covering threshold c̄: it must be
 // ≥ 1. (Config.CoverThreshold additionally accepts 0 as "use the paper's
 // default of 1000".)
@@ -124,6 +168,11 @@ type Config struct {
 	// with TablePath at seed s produces bit-identical estimates to an
 	// in-memory run at seed s whose table was saved by BuildTable.
 	TablePath string
+	// MapTable selects how TablePath is opened: the MapAuto zero value
+	// memory-maps MvT4 files (zero-copy, O(ms) open) and falls back to
+	// heap loading where mapping is unavailable. Estimates are
+	// bit-identical across modes.
+	MapTable MapMode
 }
 
 // Result aggregates the estimates of a run.
@@ -269,7 +318,7 @@ func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		if cfg.BiasedLambda > 0 {
 			return nil, fmt.Errorf("core: BiasedLambda has no effect with TablePath (the saved coloring is used); unset one")
 		}
-		eng, err := Open(g, cfg.TablePath)
+		eng, err := OpenMode(g, cfg.TablePath, cfg.MapTable)
 		if err != nil {
 			return nil, err
 		}

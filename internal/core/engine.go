@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -48,10 +49,21 @@ type Engine struct {
 
 // Open loads a count table persisted by BuildTable (or `motivo build -o`)
 // and prepares an Engine over it: table validation, coloring recovery and
-// master-urn construction all happen here, once, instead of on every query.
+// master-urn construction all happen here, once, instead of on every
+// query. It opens in MapAuto mode — MvT4 files are memory-mapped
+// (zero-copy arenas, O(ms) open independent of table size, lazy per-level
+// validation on first touch), everything else heap-loads.
 func Open(g *graph.Graph, tablePath string) (*Engine, error) {
+	return OpenMode(g, tablePath, MapAuto)
+}
+
+// OpenMode is Open with the table open path pinned: MapOff heap-loads
+// with eager validation, MapRequire maps or fails, MapAuto maps when the
+// file and platform allow it. Estimates are bit-identical across modes —
+// the mapped table serves the same View interface over the same bytes.
+func OpenMode(g *graph.Graph, tablePath string, mode MapMode) (*Engine, error) {
 	start := time.Now()
-	tab, col, err := table.LoadFile(tablePath)
+	tab, col, err := openTable(tablePath, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +76,25 @@ func Open(g *graph.Graph, tablePath string) (*Engine, error) {
 	}
 	eng.openTime = time.Since(start)
 	return eng, nil
+}
+
+// openTable resolves a MapMode against one file. Only ErrNotMappable
+// triggers the MapAuto fallback: a corrupt v4 file fails hard on both
+// paths rather than being silently re-read onto the heap.
+func openTable(path string, mode MapMode) (*table.Table, *coloring.Coloring, error) {
+	switch mode {
+	case MapOff:
+		return table.LoadFile(path)
+	case MapRequire:
+		return table.OpenMapped(path)
+	case MapAuto:
+		tab, col, err := table.OpenMapped(path)
+		if errors.Is(err, table.ErrNotMappable) {
+			return table.LoadFile(path)
+		}
+		return tab, col, err
+	}
+	return nil, nil, fmt.Errorf("core: unknown map mode %d", int(mode))
 }
 
 // NewEngine prepares an Engine over an already-built table — the in-memory
@@ -133,8 +164,15 @@ type EngineStats struct {
 	// Nodes and Edges describe the host graph.
 	Nodes int
 	Edges int64
-	// TableBytes is the packed in-memory count-table payload.
-	TableBytes int64
+	// TableBytes is the packed count-table payload (arenas + offset
+	// indexes + smart synthesis state) regardless of where it resides;
+	// HeapBytes and MappedBytes split it by residency. A heap-loaded
+	// table is all HeapBytes; a mapped table is mostly MappedBytes
+	// (page-cache-backed, reclaimable by the kernel) plus a small heap
+	// part for the decoded smart-star state.
+	TableBytes  int64
+	HeapBytes   int64
+	MappedBytes int64
 	// OpenTime is how long Open spent loading and validating the table and
 	// building the master urn (zero for engines built via NewEngine).
 	OpenTime time.Duration
@@ -145,11 +183,13 @@ type EngineStats struct {
 // TableBytes accessor trio.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		K:          e.tab.K,
-		Nodes:      e.g.NumNodes(),
-		Edges:      e.g.NumEdges(),
-		TableBytes: e.tab.Bytes(),
-		OpenTime:   e.openTime,
+		K:           e.tab.K,
+		Nodes:       e.g.NumNodes(),
+		Edges:       e.g.NumEdges(),
+		TableBytes:  e.tab.Bytes(),
+		HeapBytes:   e.tab.HeapBytes(),
+		MappedBytes: e.tab.MappedBytes(),
+		OpenTime:    e.openTime,
 	}
 }
 

@@ -5,10 +5,15 @@
 // Three mechanisms make that affordable at production scale:
 //
 //   - LRU eviction under a memory budget: resident engines are accounted
-//     by their packed table payload (Engine.TableBytes); when the sum
-//     exceeds Config.MemBudget the least-recently-queried engines are
-//     dropped, and a later query transparently reopens them from the
-//     persisted table.
+//     by the heap part of their table payload (EngineStats.HeapBytes);
+//     when the sum exceeds Config.MemBudget the least-recently-queried
+//     engines are dropped, and a later query transparently reopens them
+//     from the persisted table. Memory-mapped tables are page-cache
+//     residency the kernel already reclaims under pressure, so their
+//     bytes are tracked separately (Stats.MappedBytes) and do not consume
+//     budget — evicting a mapped engine frees almost nothing, and
+//     reopening one costs O(ms), which makes a mapped fleet dramatically
+//     denser per host.
 //   - Singleflight opens: concurrent Gets of an evicted (or still
 //     loading) name share one table load instead of each paying it.
 //   - A seeded-result cache: an explicitly seeded query is deterministic,
@@ -32,14 +37,20 @@ import (
 
 // Config bounds a Registry.
 type Config struct {
-	// MemBudget caps the total resident table payload in bytes; engines
-	// beyond it are LRU-evicted. 0 means unlimited. A single engine larger
-	// than the whole budget stays resident while in use (it could not be
-	// served otherwise) but evicts everything else.
+	// MemBudget caps the total resident heap table payload in bytes;
+	// engines beyond it are LRU-evicted. 0 means unlimited. A single
+	// engine larger than the whole budget stays resident while in use (it
+	// could not be served otherwise) but evicts everything else. Mapped
+	// table bytes are page-cache residency and do not count against the
+	// budget.
 	MemBudget int64
 	// CacheSize is the seeded-result cache capacity in entries; 0 disables
 	// the cache.
 	CacheSize int
+	// MapTable selects how table files are opened (passed through to
+	// core.OpenMode); the zero value maps MvT4 files and heap-loads the
+	// rest.
+	MapTable core.MapMode
 }
 
 // UnknownGraphError reports a name no graph was registered under. The
@@ -53,15 +64,19 @@ func (e *UnknownGraphError) Error() string {
 // Registry is a named collection of engines with LRU eviction, dedup'd
 // opens and a seeded-result cache.
 type Registry struct {
-	budget int64
-	cache  *resultCache
+	budget  int64
+	mapMode core.MapMode
+	cache   *resultCache
 
 	mu     sync.Mutex
 	graphs map[string]*graphEntry
 	// lru orders the resident entries, most recently used first; resident
-	// is the sum of their table payloads.
-	lru      []*graphEntry
-	resident int64
+	// is the sum of their heap table payloads (what MemBudget caps) and
+	// mappedRes the sum of their mapped bytes (page-cache residency,
+	// reported but never budgeted).
+	lru       []*graphEntry
+	resident  int64
+	mappedRes int64
 
 	queries   atomic.Int64 // queries served (fresh + cached)
 	samples   atomic.Int64 // samples actually drawn (cache hits draw none)
@@ -81,16 +96,18 @@ type graphEntry struct {
 	openEng *core.Engine  // the in-flight open's outcome, valid once opening is closed
 	openErr error
 
-	k          int
-	tableBytes int64
-	openTime   time.Duration // last open's duration
-	opens      int64         // first open + every reload after eviction
-	queries    atomic.Int64
+	k           int
+	tableBytes  int64 // total payload; heapBytes + mappedBytes splits it
+	heapBytes   int64
+	mappedBytes int64
+	openTime    time.Duration // last open's duration
+	opens       int64         // first open + every reload after eviction
+	queries     atomic.Int64
 }
 
 // New creates an empty registry under cfg's budget.
 func New(cfg Config) *Registry {
-	r := &Registry{budget: cfg.MemBudget, graphs: make(map[string]*graphEntry)}
+	r := &Registry{budget: cfg.MemBudget, mapMode: cfg.MapTable, graphs: make(map[string]*graphEntry)}
 	if cfg.CacheSize > 0 {
 		r.cache = newResultCache(cfg.CacheSize)
 	}
@@ -167,7 +184,7 @@ func (r *Registry) Get(ctx context.Context, name string) (*core.Engine, error) {
 // applies the memory budget.
 func (r *Registry) open(e *graphEntry) (*core.Engine, error) {
 	start := time.Now()
-	eng, err := core.Open(e.g, e.tablePath)
+	eng, err := core.OpenMode(e.g, e.tablePath, r.mapMode)
 	elapsed := time.Since(start)
 
 	r.mu.Lock()
@@ -184,10 +201,13 @@ func (r *Registry) open(e *graphEntry) (*core.Engine, error) {
 	e.eng = eng
 	e.k = st.K
 	e.tableBytes = st.TableBytes
+	e.heapBytes = st.HeapBytes
+	e.mappedBytes = st.MappedBytes
 	e.openTime = elapsed
 	e.opens++
 	r.lru = append([]*graphEntry{e}, r.lru...)
-	r.resident += e.tableBytes
+	r.resident += e.heapBytes
+	r.mappedRes += e.mappedBytes
 	r.enforceBudgetLocked(e)
 	r.mu.Unlock()
 	return eng, nil
@@ -227,7 +247,10 @@ func (r *Registry) enforceBudgetLocked(keep *graphEntry) {
 	}
 }
 
-// evictLocked drops e's resident engine.
+// evictLocked drops e's resident engine. It only releases the reference —
+// never the engine's resources: outstanding Get callers may still be
+// querying it (see the comment in Get), so a mapped table's mapping is
+// released by its finalizer once the engine is truly unreachable.
 func (r *Registry) evictLocked(e *graphEntry) {
 	for i, o := range r.lru {
 		if o == e {
@@ -235,7 +258,8 @@ func (r *Registry) evictLocked(e *graphEntry) {
 			break
 		}
 	}
-	r.resident -= e.tableBytes
+	r.resident -= e.heapBytes
+	r.mappedRes -= e.mappedBytes
 	e.eng = nil
 	r.evictions.Add(1)
 }
@@ -321,8 +345,11 @@ type Info struct {
 	// Nodes and Edges describe the host graph.
 	Nodes int
 	Edges int64
-	// TableBytes is the packed table payload (last known when evicted).
-	TableBytes int64
+	// TableBytes is the packed table payload (last known when evicted);
+	// MappedBytes is the part served off a read-only file mapping (0 for
+	// heap-loaded tables — the mapped-vs-heap signal per graph).
+	TableBytes  int64
+	MappedBytes int64
 	// OpenTime is the duration of the most recent table open.
 	OpenTime time.Duration
 	// Opens counts table loads: the first open plus every reload after an
@@ -339,15 +366,16 @@ func (r *Registry) List() []Info {
 	out := make([]Info, 0, len(r.graphs))
 	for _, e := range r.graphs {
 		out = append(out, Info{
-			Name:       e.name,
-			Resident:   e.eng != nil,
-			K:          e.k,
-			Nodes:      e.g.NumNodes(),
-			Edges:      e.g.NumEdges(),
-			TableBytes: e.tableBytes,
-			OpenTime:   e.openTime,
-			Opens:      e.opens,
-			Queries:    e.queries.Load(),
+			Name:        e.name,
+			Resident:    e.eng != nil,
+			K:           e.k,
+			Nodes:       e.g.NumNodes(),
+			Edges:       e.g.NumEdges(),
+			TableBytes:  e.tableBytes,
+			MappedBytes: e.mappedBytes,
+			OpenTime:    e.openTime,
+			Opens:       e.opens,
+			Queries:     e.queries.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -357,11 +385,14 @@ func (r *Registry) List() []Info {
 // Stats aggregates the registry's traffic, cache and eviction counters.
 type Stats struct {
 	// Graphs is the number of registered names; Resident how many of them
-	// hold a loaded engine; ResidentBytes their summed table payload;
-	// MemBudget the configured cap (0 = unlimited).
+	// hold a loaded engine; ResidentBytes their summed heap table payload
+	// (what MemBudget caps); MappedBytes their summed memory-mapped table
+	// bytes (page-cache residency, never budgeted); MemBudget the
+	// configured cap (0 = unlimited).
 	Graphs        int
 	Resident      int
 	ResidentBytes int64
+	MappedBytes   int64
 	MemBudget     int64
 	// Queries counts queries served (fresh + cached); Samples the samples
 	// actually drawn (cache hits draw none).
@@ -385,6 +416,7 @@ func (r *Registry) Stats() Stats {
 		Graphs:        len(r.graphs),
 		Resident:      len(r.lru),
 		ResidentBytes: r.resident,
+		MappedBytes:   r.mappedRes,
 		MemBudget:     r.budget,
 	}
 	r.mu.Unlock()

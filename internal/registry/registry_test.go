@@ -84,9 +84,11 @@ func TestRegistryLRUEviction(t *testing.T) {
 	gA, pA, bA := buildGraph(t, 50, 120, 3)
 	gB, pB, bB := buildGraph(t, 50, 120, 7)
 	gC, pC, bC := buildGraph(t, 50, 120, 11)
-	// Any two tables fit, all three never do.
+	// Any two tables fit, all three never do. MapOff pins heap loading:
+	// the budget caps heap bytes, and a mapped table would charge almost
+	// none (see TestRegistryMappedAccounting).
 	budget := bA + bB + bC - min(bA, min(bB, bC))/2 - 1
-	r := New(Config{MemBudget: budget})
+	r := New(Config{MemBudget: budget, MapTable: core.MapOff})
 	ctx := context.Background()
 	if _, err := r.Open("a", gA, pA); err != nil {
 		t.Fatal(err)
@@ -291,5 +293,46 @@ func TestRegistryCountValidates(t *testing.T) {
 	var unknown *UnknownGraphError
 	if _, _, err := r.Count(context.Background(), "nope", core.Query{Samples: 100, Seed: 1}, false); !errors.As(err, &unknown) {
 		t.Fatalf("Count on unknown graph: %v", err)
+	}
+}
+
+// TestRegistryMappedAccounting pins the memory model of mapped serving:
+// a mapped engine's page-cache-backed bytes are reported in MappedBytes
+// (registry-wide and per graph) but charge almost nothing against the
+// heap budget, and evicting it returns both sums to zero.
+func TestRegistryMappedAccounting(t *testing.T) {
+	g, p, tableBytes := buildGraph(t, 50, 120, 3)
+	r := New(Config{}) // MapAuto: the MvT4 file opens mapped where supported
+	eng, err := r.Open("g", g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := eng.Stats()
+	if est.MappedBytes == 0 {
+		t.Skip("mapping unavailable on this platform; heap fallback has its own tests")
+	}
+	if est.HeapBytes >= tableBytes {
+		t.Fatalf("mapped engine charges %d heap bytes of a %d-byte table", est.HeapBytes, tableBytes)
+	}
+	st := r.Stats()
+	if st.MappedBytes != est.MappedBytes {
+		t.Fatalf("registry MappedBytes = %d, engine reports %d", st.MappedBytes, est.MappedBytes)
+	}
+	if st.ResidentBytes != est.HeapBytes {
+		t.Fatalf("ResidentBytes = %d, want the heap part %d", st.ResidentBytes, est.HeapBytes)
+	}
+	infos := r.List()
+	if len(infos) != 1 || infos[0].MappedBytes != est.MappedBytes {
+		t.Fatalf("List mapped bytes: %+v", infos)
+	}
+	if !r.Evict("g") {
+		t.Fatal("nothing to evict")
+	}
+	if st := r.Stats(); st.MappedBytes != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("after eviction both sums must be zero: %+v", st)
+	}
+	// The evicted engine stays usable (immutable memory / live mapping).
+	if _, err := eng.Count(context.Background(), core.Query{Samples: 100, Seed: 1}); err != nil {
+		t.Fatalf("evicted engine unusable: %v", err)
 	}
 }

@@ -82,14 +82,18 @@ type GraphInfo struct {
 	Name string `json:"name"`
 	// Resident reports whether the graph's engine is currently loaded
 	// (false after an LRU eviction; the next query reloads it).
-	Resident   bool    `json:"resident"`
-	K          int     `json:"k"`
-	Nodes      int     `json:"nodes"`
-	Edges      int64   `json:"edges"`
-	TableBytes int64   `json:"tableBytes"`
-	OpenMs     float64 `json:"openMs"`
-	Opens      int64   `json:"opens"`
-	Queries    int64   `json:"queries"`
+	Resident bool  `json:"resident"`
+	K        int   `json:"k"`
+	Nodes    int   `json:"nodes"`
+	Edges    int64 `json:"edges"`
+	// TableBytes is the graph's packed table payload; MappedBytes the part
+	// served off a read-only file mapping (0 when the table was loaded
+	// onto the heap).
+	TableBytes  int64   `json:"tableBytes"`
+	MappedBytes int64   `json:"mappedBytes"`
+	OpenMs      float64 `json:"openMs"`
+	Opens       int64   `json:"opens"`
+	Queries     int64   `json:"queries"`
 }
 
 // GraphsResponse is the JSON body answering GET /v1/graphs.

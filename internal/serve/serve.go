@@ -355,15 +355,16 @@ func (s *Server) handleV1Graphs(w http.ResponseWriter, r *http.Request) {
 	resp := GraphsResponse{Graphs: make([]GraphInfo, 0, len(infos))}
 	for _, in := range infos {
 		resp.Graphs = append(resp.Graphs, GraphInfo{
-			Name:       in.Name,
-			Resident:   in.Resident,
-			K:          in.K,
-			Nodes:      in.Nodes,
-			Edges:      in.Edges,
-			TableBytes: in.TableBytes,
-			OpenMs:     float64(in.OpenTime.Microseconds()) / 1000,
-			Opens:      in.Opens,
-			Queries:    in.Queries,
+			Name:        in.Name,
+			Resident:    in.Resident,
+			K:           in.K,
+			Nodes:       in.Nodes,
+			Edges:       in.Edges,
+			TableBytes:  in.TableBytes,
+			MappedBytes: in.MappedBytes,
+			OpenMs:      float64(in.OpenTime.Microseconds()) / 1000,
+			Opens:       in.Opens,
+			Queries:     in.Queries,
 		})
 	}
 	s.writeV1JSON(w, http.StatusOK, resp)
@@ -477,7 +478,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("motivo_rejected_total", "Requests rejected by admission control (429).", s.rejected.Load())
 	gauge("motivo_graphs_registered", "Graphs registered.", float64(st.Graphs))
 	gauge("motivo_graphs_resident", "Graphs with a loaded engine.", float64(st.Resident))
-	gauge("motivo_resident_table_bytes", "Summed packed table payload of resident engines.", float64(st.ResidentBytes))
+	gauge("motivo_resident_table_bytes", "Summed heap table payload of resident engines (what the memory budget caps).", float64(st.ResidentBytes))
+	gauge("motivo_mapped_table_bytes", "Summed memory-mapped table bytes of resident engines (page-cache residency, not budgeted).", float64(st.MappedBytes))
 	gauge("motivo_mem_budget_bytes", "Configured resident-table budget (0 = unlimited).", float64(st.MemBudget))
 	gauge("motivo_uptime_seconds", "Seconds since the server started.", time.Since(s.started).Seconds())
 

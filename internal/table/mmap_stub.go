@@ -1,0 +1,13 @@
+//go:build !unix
+
+package table
+
+import "fmt"
+
+// mmapFile on platforms without memory mapping: OpenMapped reports
+// ErrNotMappable so callers fall back to the heap loader.
+func mmapFile(path string) ([]byte, error) {
+	return nil, fmt.Errorf("%w: no mmap on this platform", ErrNotMappable)
+}
+
+func munmapFile(data []byte) error { return nil }

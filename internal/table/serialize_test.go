@@ -2,6 +2,9 @@ package table
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
 	"testing"
 
 	"repro/internal/coloring"
@@ -118,6 +121,33 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
+// TestSaveV3RoundTrip pins downgrade compatibility: the legacy writer
+// still produces loadable MvT3 files, and the heap loader reads them back
+// entry-identical — old tables (and tables written for old readers) keep
+// working without the v4 checksums or directory.
+func TestSaveV3RoundTrip(t *testing.T) {
+	tab := testTable(t)
+	col := coloring.Uniform(tab.N, tab.K, 42)
+	var buf bytes.Buffer
+	if _, err := SaveV3(&buf, tab, col); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint32(buf.Bytes()); got != fileMagicV3 {
+		t.Fatalf("SaveV3 wrote magic %#x, want %#x", got, fileMagicV3)
+	}
+	got, gotCol, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalTables(t, tab, got)
+	if gotCol == nil || !bytes.Equal(gotCol.Colors, col.Colors) || gotCol.PColorful != col.PColorful {
+		t.Error("coloring lost through the v3 round trip")
+	}
+	if got.Mapped() {
+		t.Error("a v3 load must not report a mapping")
+	}
+}
+
 func TestReadTableRejectsGarbage(t *testing.T) {
 	if _, err := ReadTable(bytes.NewReader(make([]byte, 64))); err == nil {
 		t.Error("bad magic must fail")
@@ -153,5 +183,123 @@ func TestReadTableRejectsGarbage(t *testing.T) {
 	data[len(data)-1] |= 0x80
 	if _, err := ReadTable(bytes.NewReader(data)); err == nil {
 		t.Error("corrupt record payload must fail validation")
+	}
+}
+
+// TestOpenErrorSurface drives the same corrupted files through both open
+// paths — LoadFile (heap) and OpenMapped (zero-copy) — and pins where
+// each one fails. The heap path checks the whole-file checksum eagerly,
+// so every flipped byte fails at open; the mapped path validates the
+// header, directory and meta region at open but defers level payloads to
+// first touch, so directory-checksum corruption opens fine and surfaces
+// through Verify.
+func TestOpenErrorSurface(t *testing.T) {
+	tab := testTable(t) // k=3, materialized: three dir entries at 48/80/112
+	col := coloring.Uniform(tab.N, tab.K, 5)
+	var v4, v3 bytes.Buffer
+	if _, err := Save(&v4, tab, col); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveV3(&v3, tab, col); err != nil {
+		t.Fatal(err)
+	}
+	metaOff := headerSize + 3*dirEntrySize // first meta byte (PColorful bits)
+
+	// Probe once whether this platform maps at all; without mmap every
+	// OpenMapped returns ErrNotMappable and the mapped expectations below
+	// would be vacuous.
+	probe := t.TempDir() + "/probe.tbl"
+	if err := os.WriteFile(probe, v4.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mmapOK := true
+	if ptab, _, err := OpenMapped(probe); err != nil {
+		if !errors.Is(err, ErrNotMappable) {
+			t.Fatal(err)
+		}
+		mmapOK = false
+	} else {
+		ptab.Close()
+	}
+
+	mutate := func(src []byte, f func(d []byte)) func() []byte {
+		return func() []byte {
+			d := append([]byte(nil), src...)
+			f(d)
+			return d
+		}
+	}
+	cases := []struct {
+		name string
+		data func() []byte
+		// heapOK: LoadFile must succeed. mappedNotMappable: OpenMapped must
+		// fail with ErrNotMappable (the MapAuto fallback signal).
+		// mappedLazy: OpenMapped must succeed and Verify must then fail —
+		// everything else must fail hard at OpenMapped.
+		heapOK            bool
+		mappedNotMappable bool
+		mappedLazy        bool
+	}{
+		{name: "truncated-header", data: func() []byte { return v4.Bytes()[:32] },
+			mappedNotMappable: true}, // below 48 bytes it could be a tiny legacy file
+		{name: "truncated-arena", data: func() []byte { return v4.Bytes()[:v4.Len()-3] }},
+		{name: "bad-magic", data: mutate(v4.Bytes(), func(d []byte) { d[0] ^= 0xFF })},
+		{name: "bad-version", data: mutate(v4.Bytes(), func(d []byte) { d[4] = 9 })},
+		{name: "arena-length-overflow", data: mutate(v4.Bytes(), func(d []byte) {
+			binary.LittleEndian.PutUint64(d[headerSize:], 1<<50) // level-1 arenaLen
+		})},
+		{name: "unaligned-starts-offset", data: mutate(v4.Bytes(), func(d []byte) {
+			off := binary.LittleEndian.Uint64(d[headerSize+8:])
+			binary.LittleEndian.PutUint64(d[headerSize+8:], off+1)
+		})},
+		{name: "corrupt-meta-region", data: mutate(v4.Bytes(), func(d []byte) { d[metaOff] ^= 0x01 })},
+		{name: "corrupt-level-checksum", data: mutate(v4.Bytes(), func(d []byte) {
+			d[headerSize+24] ^= 0x01 // level-1 dir checksum field
+		}), mappedLazy: true},
+		{name: "corrupt-arena-payload", data: mutate(v4.Bytes(), func(d []byte) {
+			d[v4.Len()-1] ^= 0x40 // last arena byte, level k
+		}), mappedLazy: true},
+		{name: "legacy-v3-file", data: func() []byte { return v3.Bytes() },
+			heapOK: true, mappedNotMappable: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := t.TempDir() + "/t.tbl"
+			if err := os.WriteFile(path, tc.data(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, herr := LoadFile(path)
+			if tc.heapOK && herr != nil {
+				t.Errorf("heap open: unexpected error %v", herr)
+			}
+			if !tc.heapOK && herr == nil {
+				t.Error("heap open: corruption went undetected")
+			}
+			if !mmapOK {
+				return
+			}
+			mtab, _, merr := OpenMapped(path)
+			switch {
+			case tc.mappedNotMappable:
+				if !errors.Is(merr, ErrNotMappable) {
+					t.Errorf("mapped open: want ErrNotMappable, got %v", merr)
+				}
+			case tc.mappedLazy:
+				if merr != nil {
+					t.Fatalf("mapped open must defer level validation, got %v", merr)
+				}
+				defer mtab.Close()
+				if verr := mtab.Verify(); verr == nil {
+					t.Error("Verify on a corrupted mapping must fail")
+				}
+			default:
+				if merr == nil {
+					mtab.Close()
+					t.Error("mapped open: corruption went undetected")
+				} else if errors.Is(merr, ErrNotMappable) {
+					t.Errorf("mapped open: corruption must fail hard, not signal fallback: %v", merr)
+				}
+			}
+		})
 	}
 }

@@ -53,6 +53,12 @@ type Table struct {
 	ZeroRooted bool
 	levels     []level // levels[h], index 0 unused
 	smart      *smartState
+
+	// Set only on tables opened with OpenMapped: the levels alias a
+	// read-only file mapping owned by mapped, and verify[h] carries the
+	// lazy first-touch checksum state of each stored level (mmap.go).
+	mapped *mappedState
+	verify []levelVerify
 }
 
 // New allocates an empty table for n nodes and treelets up to size k.
@@ -85,6 +91,9 @@ func (t *Table) topLevelSkip(h int, v int32) bool {
 // usable once the graph is attached.
 func (t *Table) Rec(h int, v int32) View {
 	vw := View{t: t, h: h, v: v}
+	if t.verify != nil {
+		t.ensureVerified(h)
+	}
 	lv := &t.levels[h]
 	if lv.starts != nil {
 		if off := lv.starts[v]; off >= 0 {
@@ -107,6 +116,9 @@ func (t *Table) SetRec(h int, v int32, p *Pairs) {
 	if p.Len() == 0 {
 		return
 	}
+	if t.mapped != nil {
+		panic("table: SetRec on a mapped table (the mapping is read-only)")
+	}
 	lv := &t.levels[h]
 	if lv.starts == nil {
 		panic(fmt.Sprintf("table: SetRec on fully synthetic level %d of a smart table", h))
@@ -123,6 +135,9 @@ func (t *Table) SetRec(h int, v int32, p *Pairs) {
 // the table layout is deterministic regardless of the order records were
 // produced in (concurrent builders flush in scheduling order).
 func (t *Table) SetLevel(h int, arena []byte, starts []int64) error {
+	if t.mapped != nil {
+		return fmt.Errorf("table: SetLevel on a mapped table (the mapping is read-only)")
+	}
 	if len(starts) != t.N {
 		return fmt.Errorf("table: level %d has %d offsets, table has %d nodes", h, len(starts), t.N)
 	}
@@ -195,6 +210,32 @@ func (t *Table) Bytes() int64 {
 	return b
 }
 
+// MappedBytes returns the size of the read-only file mapping backing the
+// table, or 0 for heap tables. Mapped bytes are page-cache residency, not
+// process heap: the kernel reclaims them under pressure and re-faults
+// them from the file, which is why budgeting code should account them
+// separately from HeapBytes.
+func (t *Table) MappedBytes() int64 {
+	if t.mapped == nil {
+		return 0
+	}
+	return int64(len(t.mapped.data))
+}
+
+// HeapBytes returns the part of Bytes that lives on the Go heap. For a
+// heap-loaded table that is everything; for a mapped table the arenas and
+// offset indexes alias the mapping and only the smart-star synthesis
+// state (decoded degrees + colors) is heap-resident.
+func (t *Table) HeapBytes() int64 {
+	if t.mapped == nil {
+		return t.Bytes()
+	}
+	if t.smart == nil {
+		return 0
+	}
+	return int64(4*len(t.smart.deg)) + int64(len(t.smart.colors))
+}
+
 // Pairs returns the total number of (key, count) pairs physically stored.
 // Synthesized entries are not counted: they occupy no bytes, which is the
 // point of smart stars (LogicalPairs counts them too).
@@ -238,32 +279,41 @@ func (t *Table) LogicalPairs() int64 {
 // (those must never be materialized) and stored fully-synthetic levels.
 func (t *Table) Validate() error {
 	for h := 1; h <= t.K; h++ {
-		lv := &t.levels[h]
-		if t.smart != nil && h < minStoredSize && lv.starts != nil {
-			return fmt.Errorf("table: smart table stores fully synthetic level %d", h)
+		if err := t.validateLevel(h); err != nil {
+			return err
 		}
-		for v := 0; v < len(lv.starts); v++ {
-			off := lv.starts[v]
-			if off < 0 {
-				continue
-			}
-			if off > int64(len(lv.arena)) {
-				return fmt.Errorf("table: level %d record %d offset beyond arena", h, v)
-			}
-			r, err := ViewRecord(lv.arena[off:])
-			if err != nil {
-				return fmt.Errorf("table: level %d record %d: %w", h, v, err)
-			}
-			if err := r.Validate(); err != nil {
-				return fmt.Errorf("table: level %d record %d: %w", h, v, err)
-			}
-			if t.smart != nil {
-				c := r.Cursor(0)
-				for i := 0; i < r.Len(); i++ {
-					key, _ := c.Next()
-					if t.synthesized(key.Tree()) {
-						return fmt.Errorf("table: level %d record %d stores synthesized shape %v", h, v, key.Tree())
-					}
+	}
+	return nil
+}
+
+// validateLevel is Validate for one size level — also the record-integrity
+// half of a mapped table's lazy first-touch verification (mmap.go).
+func (t *Table) validateLevel(h int) error {
+	lv := &t.levels[h]
+	if t.smart != nil && h < minStoredSize && lv.starts != nil {
+		return fmt.Errorf("table: smart table stores fully synthetic level %d", h)
+	}
+	for v := 0; v < len(lv.starts); v++ {
+		off := lv.starts[v]
+		if off < 0 {
+			continue
+		}
+		if off > int64(len(lv.arena)) {
+			return fmt.Errorf("table: level %d record %d offset beyond arena", h, v)
+		}
+		r, err := ViewRecord(lv.arena[off:])
+		if err != nil {
+			return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+		}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+		}
+		if t.smart != nil {
+			c := r.Cursor(0)
+			for i := 0; i < r.Len(); i++ {
+				key, _ := c.Next()
+				if t.synthesized(key.Tree()) {
+					return fmt.Errorf("table: level %d record %d stores synthesized shape %v", h, v, key.Tree())
 				}
 			}
 		}

@@ -93,6 +93,22 @@ const (
 	AGS = core.AGS
 )
 
+// MapMode selects how persisted count tables are opened: memory-mapped
+// (zero-copy arenas, O(ms) open independent of table size, page-cache
+// residency — tables larger than RAM serve fine) or loaded onto the heap
+// with eager validation.
+type MapMode = core.MapMode
+
+const (
+	// MapAuto (the default) maps MvT4 table files and falls back to heap
+	// loading where mapping is unavailable (older formats, non-unix).
+	MapAuto = core.MapAuto
+	// MapOff always heap-loads, validating the whole file eagerly.
+	MapOff = core.MapOff
+	// MapRequire maps or fails — no silent fallback to heap residency.
+	MapRequire = core.MapRequire
+)
+
 // Options configures Count. The zero value is completed with sensible
 // defaults: K=4, one coloring, 100k samples, naive strategy.
 type Options struct {
@@ -136,6 +152,10 @@ type Options struct {
 	// is used). A Count at seed s over a table saved by BuildTable at seed
 	// s yields bit-identical estimates to a fully in-memory run.
 	TablePath string
+	// MapTable selects how TablePath is opened (MapAuto, MapOff,
+	// MapRequire). Estimates are bit-identical across modes; mapping
+	// changes only open time and memory residency.
+	MapTable MapMode
 }
 
 // Estimate is one graphlet's estimated occurrence count and relative
@@ -244,6 +264,7 @@ func coreConfig(opts Options) core.Config {
 		Spill:              opts.Spill,
 		MaterializeStars:   opts.MaterializeStars,
 		TablePath:          opts.TablePath,
+		MapTable:           opts.MapTable,
 	}
 }
 
@@ -308,9 +329,19 @@ type Engine struct {
 // Open loads a count table persisted by BuildTable (or `motivo build -o`)
 // and prepares a query engine over it. The per-query cost of the one-shot
 // TablePath path — file open, validation, urn construction — is paid here
-// exactly once.
+// exactly once. MvT4 files open memory-mapped (MapAuto): O(ms)
+// independent of table size, with per-level validation deferred to first
+// touch; use OpenMode to pin a path.
 func Open(g *Graph, tablePath string) (*Engine, error) {
-	eng, err := core.Open(g, tablePath)
+	return OpenMode(g, tablePath, MapAuto)
+}
+
+// OpenMode is Open with the table open path pinned: MapOff heap-loads
+// with eager whole-file validation, MapRequire memory-maps or fails,
+// MapAuto maps when the file and platform allow it. Estimates are
+// bit-identical across modes.
+func OpenMode(g *Graph, tablePath string, mode MapMode) (*Engine, error) {
+	eng, err := core.OpenMode(g, tablePath, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -420,6 +451,12 @@ type RegistryConfig struct {
 	// (graph, Query) with an explicit seed → cached Result). 0 disables
 	// the cache.
 	CacheSize int
+	// MapTable selects how registered tables are opened. With the MapAuto
+	// default, MvT4 tables are memory-mapped: their bytes are page-cache
+	// residency (reported separately in Stats().MappedBytes), charge
+	// almost nothing against MemBudget, and evicting/reopening them is
+	// O(ms) — many more graphs fit one host.
+	MapTable MapMode
 }
 
 // Registry is a named collection of engines — the multi-tenant half of the
@@ -445,6 +482,7 @@ func NewRegistry(cfg RegistryConfig) *Registry {
 	return &Registry{reg: registry.New(registry.Config{
 		MemBudget: cfg.MemBudget,
 		CacheSize: cfg.CacheSize,
+		MapTable:  cfg.MapTable,
 	})}
 }
 
