@@ -5,13 +5,23 @@
 //
 // Usage:
 //
-//	motivo gen   -type ba -n 10000 -m 5 -seed 1 -o graph.txt
-//	motivo build -i graph.txt -k 5 -o graph.tbl
-//	motivo count -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
-//	motivo count -i graph.txt -k 5 -table graph.tbl -samples 100000
-//	motivo serve -i graph.txt -table graph.tbl -addr :8080
-//	motivo serve -graph er=er.txt:er.tbl -graph ba=ba.txt:ba.tbl -mem-budget 268435456 -cache-size 1024 -max-inflight 64
-//	motivo exact -i graph.txt -k 4
+//	motivo gen     -type ba -n 10000 -m 5 -seed 1 -o graph.txt
+//	motivo convert -i graph.txt -o graph.mvg
+//	motivo build   -i graph.mvg -k 5 -mem-budget 2147483648 -o graph.tbl
+//	motivo count   -i graph.txt -k 5 -samples 100000 -strategy ags -cover-threshold 1000 -sample-workers 8
+//	motivo count   -i graph.mvg -k 5 -table graph.tbl -samples 100000
+//	motivo serve   -i graph.txt -table graph.tbl -addr :8080
+//	motivo serve   -graph er=er.txt:er.tbl -graph ba=ba.txt:ba.tbl -mem-budget 268435456 -cache-size 1024 -max-inflight 64
+//	motivo exact   -i graph.txt -k 4
+//
+// Graph inputs are opened by content, not extension: text edge lists
+// stream through a two-pass reader that never buffers the edge list in
+// RAM, and MvG1 binary CSR files (written by `convert`) are memory-mapped
+// — O(ms) open with the adjacency served from the page cache
+// (`-map-graph auto|off|require` pins the path). `build -mem-budget`
+// bounds the build's transient memory: levels are computed in vertex-range
+// shards streamed through spill files and externally merged, producing a
+// bit-identical table.
 //
 // `build -o` persists the count table; `count -table` opens it and skips
 // the build — build once, query many. Persisted MvT4 tables are
@@ -24,6 +34,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"flag"
@@ -40,6 +51,7 @@ import (
 	"repro/internal/build"
 	"repro/internal/coloring"
 	"repro/internal/core"
+	"repro/internal/graph"
 	"repro/internal/registry"
 	"repro/internal/serve"
 	"repro/internal/table"
@@ -55,6 +67,8 @@ func main() {
 	switch os.Args[1] {
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "build":
 		err = cmdBuild(os.Args[2:])
 	case "count":
@@ -80,20 +94,71 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: motivo <command> [flags]
 
 commands:
-  gen    generate a synthetic graph (-type ba|er|star|lollipop)
-  build  run only the build-up phase and report statistics
-  count  estimate graphlet counts (naive or AGS sampling)
-  serve  serve JSON count queries over HTTP from a persisted table
-  exact  exact counts by exhaustive enumeration (small graphs)`)
+  gen      generate a synthetic graph (-type ba|er|star|lollipop)
+  convert  convert a graph to the mappable MvG1 binary format
+  build    run only the build-up phase and report statistics
+  count    estimate graphlet counts (naive or AGS sampling)
+  serve    serve JSON count queries over HTTP from a persisted table
+  exact    exact counts by exhaustive enumeration (small graphs)`)
 }
 
-func loadGraph(path string) (*motivo.Graph, error) {
-	f, err := os.Open(path)
+// mapGraphFlag registers the shared -map-graph flag; loadGraph parses it.
+func mapGraphFlag(fs *flag.FlagSet) *string {
+	return fs.String("map-graph", "auto",
+		"how the input graph is opened: auto (mmap MvG1, heap otherwise), off (heap), require (mmap or fail)")
+}
+
+// loadGraph opens a graph input by content: MvG1 binary files map (or
+// heap-load under -map-graph off), text edge lists stream through the
+// two-pass reader.
+func loadGraph(path, mapMode string) (*motivo.Graph, error) {
+	mode, err := graph.ParseOpenMode(mapMode)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return motivo.ReadEdgeList(f)
+	return motivo.OpenGraph(path, mode)
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
+	in := fs.String("i", "", "input graph file, text edge list or MvG1 (required)")
+	out := fs.String("o", "", "output MvG1 binary graph file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert: -i and -o are required")
+	}
+	// Heap-open the input: a conversion reads every byte once, so mapping
+	// buys nothing, and off also lets MvG1 inputs round-trip (re-validate
+	// and rewrite a file in place of a copy).
+	g, err := loadGraph(*in, "off")
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := g.WriteBinary(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "converted %s: %d nodes, %d edges, %.1f MiB — builds can now map it (`motivo build -i %s ...`)\n",
+		*out, g.NumNodes(), g.NumEdges(), float64(st.Size())/(1<<20), *out)
+	return nil
 }
 
 func cmdGen(args []string) error {
@@ -143,14 +208,19 @@ func cmdBuild(args []string) error {
 	seed := fs.Int64("seed", 1, "coloring seed")
 	lambda := fs.Float64("lambda", 0, "biased-coloring λ (0 = uniform)")
 	spill := fs.Bool("spill", false, "greedy flushing through temp files")
+	memBudget := fs.Int64("mem-budget", 0, "bounded-memory build: target transient bytes; levels shard, spill and externally merge (0 = unbounded)")
 	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	out := fs.String("o", "", "persist the count table (arena + index + coloring) to this file")
 	format := fs.Int("format", 4, "table file format version for -o: 4 (checksummed, mmap-servable) or 3 (legacy)")
+	mapGraph := mapGraphFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("build: -i is required")
+	}
+	if *memBudget < 0 {
+		return fmt.Errorf("build: -mem-budget must be ≥ 0, got %d", *memBudget)
 	}
 	if *k < 1 || *k > treelet.MaxK {
 		return fmt.Errorf("build: -k %d out of range [1,%d]", *k, treelet.MaxK)
@@ -163,7 +233,7 @@ func cmdBuild(args []string) error {
 			return fmt.Errorf("build: %w", err)
 		}
 	}
-	g, err := loadGraph(*in)
+	g, err := loadGraph(*in, *mapGraph)
 	if err != nil {
 		return err
 	}
@@ -176,6 +246,7 @@ func cmdBuild(args []string) error {
 	cat := treelet.NewCatalog(*k)
 	opts := build.DefaultOptions()
 	opts.Spill = *spill
+	opts.MemBudget = *memBudget
 	opts.SmartStars = *smartStars
 	tab, stats, err := build.Run(context.Background(), g, col, *k, cat, opts)
 	if err != nil {
@@ -184,6 +255,10 @@ func cmdBuild(args []string) error {
 	fmt.Printf("graph:            %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	fmt.Printf("build time:       %v\n", stats.Duration.Round(1e6))
 	fmt.Printf("check-and-merge:  %d ops\n", stats.CheckMergeOps)
+	if *memBudget > 0 {
+		fmt.Printf("mem budget:       %.1f MiB (sharded bounded-memory build, %.1f MiB streamed through spill)\n",
+			float64(*memBudget)/(1<<20), float64(stats.SpillBytes)/(1<<20))
+	}
 	mode := "smart stars (star records synthesized)"
 	if !*smartStars {
 		mode = "materialized (all records stored)"
@@ -224,6 +299,7 @@ func cmdCount(args []string) error {
 	smartStars := fs.Bool("smart-stars", true, "synthesize star-family records from colored degrees instead of storing them")
 	tablePath := fs.String("table", "", "open a persisted count table (`motivo build -o`) instead of building")
 	mapMode := fs.String("map", "auto", "how -table is opened: auto (mmap, heap fallback), off (heap), require (mmap or fail)")
+	mapGraph := mapGraphFlag(fs)
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
 	verbose := fs.Bool("v", false, "print phase timing detail (open vs build vs sampling, AGS coverage)")
@@ -261,7 +337,7 @@ func cmdCount(args []string) error {
 			return fmt.Errorf("count: -smart-stars is a build-phase option; whether a persisted table is smart was decided by `motivo build`")
 		}
 	}
-	g, err := loadGraph(*in)
+	g, err := loadGraph(*in, *mapGraph)
 	if err != nil {
 		return err
 	}
@@ -353,6 +429,7 @@ func cmdServe(args []string) error {
 	cacheSize := fs.Int("cache-size", 1024, "seeded-result cache capacity in entries (0 disables)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent sampling requests; beyond it answer 429 (0 = unlimited)")
 	mapMode := fs.String("map", "auto", "how tables are opened: auto (mmap, heap fallback), off (heap), require (mmap or fail)")
+	mapGraph := mapGraphFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -375,7 +452,7 @@ func cmdServe(args []string) error {
 	}
 	reg := registry.New(registry.Config{MemBudget: *memBudget, CacheSize: *cacheSize, MapTable: mmode})
 	for _, spec := range graphs {
-		g, err := loadGraph(spec.graphPath)
+		g, err := loadGraph(spec.graphPath, *mapGraph)
 		if err != nil {
 			return fmt.Errorf("serve: graph %q: %w", spec.name, err)
 		}
@@ -441,7 +518,7 @@ func cmdExact(args []string) error {
 	if *in == "" {
 		return fmt.Errorf("exact: -i is required")
 	}
-	g, err := loadGraph(*in)
+	g, err := loadGraph(*in, "auto")
 	if err != nil {
 		return err
 	}

@@ -110,6 +110,13 @@ func TestCommandErrorMessages(t *testing.T) {
 		{"serve/missing-graph-file", cmdServe, []string{"-graph", "er=/definitely/not/here:" + tblPath}, `graph "er"`},
 
 		{"exact/missing-input", cmdExact, []string{}, "exact: -i is required"},
+
+		{"convert/missing-flags", cmdConvert, []string{}, "convert: -i and -o are required"},
+		{"convert/missing-file", cmdConvert, []string{"-i", "/definitely/not/here", "-o", filepath.Join(t.TempDir(), "g.mvg")}, "no such file"},
+		{"build/negative-budget", cmdBuild, []string{"-i", graphPath, "-k", "4", "-mem-budget", "-1"}, "-mem-budget must be ≥ 0"},
+		{"build/bad-map-graph", cmdBuild, []string{"-i", graphPath, "-k", "4", "-map-graph", "sometimes"}, `unknown open mode "sometimes"`},
+		{"build/require-map-on-text", cmdBuild, []string{"-i", graphPath, "-k", "4", "-map-graph", "require"}, "edge lists cannot be mapped"},
+		{"count/bad-map-graph", cmdCount, []string{"-i", graphPath, "-map-graph", "never"}, `unknown open mode "never"`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,6 +180,85 @@ func TestBuildFormat3DowngradePath(t *testing.T) {
 		return cmdCount([]string{"-i", graphPath, "-k", "4", "-table", tblPath, "-samples", "100"})
 	}); err != nil {
 		t.Fatalf("-map auto must fall back to the heap loader on a v3 file: %v", err)
+	}
+}
+
+// TestConvertRoundTrip pins the billion-edge ingest workflow: convert an
+// edge list to MvG1 once, then every build/count opens the binary —
+// mapped under the default auto mode, and bit-identically under -map-graph
+// off. The persisted tables from text and binary inputs must match byte
+// for byte.
+func TestConvertRoundTrip(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	dir := t.TempDir()
+	mvgPath := filepath.Join(dir, "g.mvg")
+	if _, err := captureStdout(t, func() error {
+		return cmdConvert([]string{"-i", graphPath, "-o", mvgPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tblText := filepath.Join(dir, "text.tbl")
+	tblMapped := filepath.Join(dir, "mapped.tbl")
+	tblHeap := filepath.Join(dir, "heap.tbl")
+	for _, b := range [][]string{
+		{"-i", graphPath, "-k", "4", "-o", tblText},
+		{"-i", mvgPath, "-k", "4", "-map-graph", "require", "-o", tblMapped},
+		{"-i", mvgPath, "-k", "4", "-map-graph", "off", "-o", tblHeap},
+	} {
+		if _, err := captureStdout(t, func() error { return cmdBuild(b) }); err != nil {
+			t.Fatalf("build %v: %v", b, err)
+		}
+	}
+	want, err := os.ReadFile(tblText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tblMapped, tblHeap} {
+		got, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("table built from %s differs from the text-input build", p)
+		}
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdCount([]string{"-i", mvgPath, "-k", "4", "-table", tblMapped, "-samples", "100"})
+	}); err != nil {
+		t.Fatalf("count over the converted graph: %v", err)
+	}
+}
+
+// TestBuildMemBudgetParity pins the CLI bounded-memory path: -mem-budget
+// persists a table byte-identical to the unbounded build's.
+func TestBuildMemBudgetParity(t *testing.T) {
+	graphPath := writeTestGraph(t)
+	dir := t.TempDir()
+	tblFree, tblBudget := filepath.Join(dir, "free.tbl"), filepath.Join(dir, "budget.tbl")
+	if _, err := captureStdout(t, func() error {
+		return cmdBuild([]string{"-i", graphPath, "-k", "4", "-o", tblFree})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return cmdBuild([]string{"-i", graphPath, "-k", "4", "-mem-budget", "1048576", "-o", tblBudget})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sharded bounded-memory build") {
+		t.Fatalf("-mem-budget build does not report the bounded mode:\n%s", out)
+	}
+	want, err := os.ReadFile(tblFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tblBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("-mem-budget table differs from the unbounded build's")
 	}
 }
 

@@ -90,6 +90,19 @@ type Options struct {
 	// colored-degree summaries. Counts, estimates and sampled draw
 	// sequences are bit-identical to a materialized build at equal seed.
 	SmartStars bool
+	// MemBudget, when > 0, bounds the build's transient memory (bytes):
+	// each level pass shards the vertex range into work units pulled from
+	// a shared queue by the worker pool (work-stealing, so a shard full of
+	// hubs cannot serialize the others behind a static split), every
+	// completed record streams straight to its shard's packed spill file,
+	// and the shards are externally merged into the level arena through a
+	// bounded buffer — so the pass never holds an uncompacted level copy
+	// in RAM, and per-worker decoded-record memos are capped at roughly
+	// MemBudget/(8·workers). Completed lower levels stay resident (every
+	// later pass random-accesses them); the budget bounds what the pass
+	// itself adds on top. The resulting table is byte-identical to an
+	// unbounded in-RAM build of the same coloring at any worker count.
+	MemBudget int64
 }
 
 // DefaultOptions returns the paper's defaults: GOMAXPROCS workers,
@@ -252,6 +265,11 @@ func (b *builder) levelOne() error {
 // pass. Either way Table.SetLevel compacts the level into node order, so
 // the resulting table is byte-identical regardless of scheduling and sink.
 func (b *builder) level(ctx context.Context, h int) error {
+	if b.opts.MemBudget > 0 {
+		// The bounded-memory path: sharded work queue, per-shard spill
+		// files, external merge (shard.go / merge.go).
+		return b.levelSharded(ctx, h)
+	}
 	lvl := time.Now()
 	n := b.g.NumNodes()
 	var (
@@ -355,11 +373,13 @@ type worker struct {
 	h   int
 	acc map[treelet.Colored]u128.Uint128
 
-	recMemo map[int64]*table.Pairs // decoded (size, node) records
-	outBuf  table.Pairs            // sorted result of the accumulation map
-	aggBuf  table.Pairs            // neighbor-buffered aggregate record
-	enc     []byte                 // packed encoding handed to the sink
-	cache   *table.SynthCache      // memo for smart-star neighbor sums (nil when materialized)
+	recMemo   map[int64]*table.Pairs // decoded (size, node) records
+	memoBytes int64                  // approximate decoded bytes held by recMemo
+	memoLimit int64                  // byte cap on the memo (0 = record-count cap only)
+	outBuf    table.Pairs            // sorted result of the accumulation map
+	aggBuf    table.Pairs            // neighbor-buffered aggregate record
+	enc       []byte                 // packed encoding handed to the sink
+	cache     *table.SynthCache      // memo for smart-star neighbor sums (nil when materialized)
 
 	ops      int64
 	buffered int64
@@ -376,6 +396,14 @@ func newWorker(b *builder, h int) *worker {
 		// the neighbor-sum terms from being recomputed per consumer.
 		w.cache = table.NewSynthCache()
 	}
+	if budget := b.opts.MemBudget; budget > 0 {
+		// Bounded-memory builds cap the memo by bytes, not just record
+		// count: the worker pool's memos are the one scratch structure
+		// that scales with record size, so they get an equal slice of a
+		// fraction of the budget (floored so tiny budgets still memoize
+		// the hot lower levels).
+		w.memoLimit = max(budget/int64(8*b.opts.workers()), 256<<10)
+	}
 	return w
 }
 
@@ -388,10 +416,14 @@ func (w *worker) pairs(h int, v int32) *table.Pairs {
 	}
 	p := new(table.Pairs)
 	w.b.tab.Rec(h, v).WithCache(w.cache).AppendPairs(p)
-	if len(w.recMemo) >= maxMemoRecords {
+	if len(w.recMemo) >= maxMemoRecords || (w.memoLimit > 0 && w.memoBytes > w.memoLimit) {
+		// Cap hit: drop the memo and let it refill (correctness never
+		// depends on it, only the recompute rate).
 		clear(w.recMemo)
+		w.memoBytes = 0
 	}
 	w.recMemo[key] = p
+	w.memoBytes += int64(24*p.Len()) + 64 // 8B key + 16B count per pair, plus slice headers
 	return p
 }
 

@@ -1,0 +1,6 @@
+//go:build race
+
+package build_test
+
+// raceEnabled scales workload-heavy tests down under the race detector.
+const raceEnabled = true

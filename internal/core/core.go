@@ -151,6 +151,13 @@ type Config struct {
 	SampleWorkers int
 	// Spill enables greedy flushing of the count table to temp files.
 	Spill bool
+	// MemBudget, when > 0, runs the build-up phase in bounded-memory mode:
+	// each level is computed in vertex-range shards pulled from a shared
+	// work-stealing queue, records stream to per-shard spill files as they
+	// complete, and the level is externally merged into its final arena.
+	// The resulting table is bit-identical to an unbounded build. See
+	// build.Options.MemBudget for the exact semantics of the bound.
+	MemBudget int64
 	// BufferThreshold overrides the neighbor-buffering degree threshold
 	// (0 keeps the paper's default of 10^4).
 	BufferThreshold int
@@ -228,6 +235,7 @@ func buildFor(ctx context.Context, g *graph.Graph, cfg Config, col *coloring.Col
 	opts := build.DefaultOptions()
 	opts.Workers = cfg.Workers
 	opts.Spill = cfg.Spill
+	opts.MemBudget = cfg.MemBudget
 	opts.SmartStars = !cfg.MaterializeStars
 	if cfg.BufferThreshold > 0 {
 		opts.BufferThreshold = cfg.BufferThreshold

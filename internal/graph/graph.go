@@ -10,8 +10,12 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
+
+// sortNodes sorts a neighbor slice ascending.
+func sortNodes(ns []Node) { slices.Sort(ns) }
 
 // Node is a vertex identifier in [0, N).
 type Node = int32
@@ -20,6 +24,10 @@ type Node = int32
 type Graph struct {
 	offsets []int64 // len n+1; neighbor range of v is adj[offsets[v]:offsets[v+1]]
 	adj     []Node  // concatenated sorted adjacency lists
+
+	// mapped is set only on graphs opened with OpenMapped: offsets and
+	// adj alias a read-only file mapping it owns (mmap.go).
+	mapped *mappedGraph
 }
 
 // NumNodes returns the number of vertices.

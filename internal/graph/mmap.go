@@ -1,0 +1,234 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/mmapx"
+)
+
+// ErrNotMappable reports that a graph file cannot be served through
+// OpenMapped but is (or may be) loadable another way: a platform without
+// mmap, a big-endian host, or a file too small to carry an MvG1 header.
+// Callers that prefer mapping should errors.Is on it and fall back to the
+// heap loaders (Open with OpenAuto does exactly that). It never wraps
+// corruption — a damaged MvG1 file is a hard error on both paths.
+var ErrNotMappable = errors.New("graph: file not mappable")
+
+// hostLittleEndian reports whether this host matches the on-disk byte
+// order. The zero-copy path reinterprets mapped bytes as []int64 and
+// []Node, which is only correct little-endian.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// mappedGraph owns one read-only file mapping. The Graph's offset index
+// and adjacency arena alias it, so its lifetime must cover the graph's:
+// it is unmapped by an explicit Graph.Close or, failing that, by a
+// finalizer once the graph is unreachable.
+type mappedGraph struct {
+	data   []byte
+	closed atomic.Bool
+}
+
+func (mg *mappedGraph) close() error {
+	if mg.closed.Swap(true) {
+		return nil
+	}
+	return mmapx.Unmap(mg.data)
+}
+
+// OpenMapped opens an MvG1 binary CSR file (WriteBinary's output) by
+// mapping it read-only: the offset index and adjacency arena point
+// directly into the mapping, so the host graph costs ~0 Go heap however
+// many edges it has, and residency is the kernel's page cache. The file
+// is fully validated at open — the same header and CSR invariants
+// ReadBinary enforces, as one sequential scan of the mapping — so a
+// hostile file is rejected, never served.
+//
+// A platform without mmap or a big-endian host returns an error wrapping
+// ErrNotMappable (retry with ReadBinary); a corrupt file is a hard error.
+// Close the graph to release the mapping deterministically; otherwise a
+// finalizer releases it when the graph becomes unreachable.
+func OpenMapped(path string) (*Graph, error) {
+	if !hostLittleEndian {
+		return nil, fmt.Errorf("%w: big-endian host", ErrNotMappable)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < binaryHeaderSize {
+		return nil, fmt.Errorf("%w: %d-byte file is below the MvG1 header size", ErrNotMappable, st.Size())
+	}
+	data, err := mmapx.Map(path)
+	if err != nil {
+		if errors.Is(err, mmapx.ErrUnsupported) {
+			return nil, fmt.Errorf("%w: %v", ErrNotMappable, err)
+		}
+		return nil, err
+	}
+	g, err := mapBinary(data)
+	if err != nil {
+		_ = mmapx.Unmap(data) // nothing aliases data yet
+		return nil, err
+	}
+	runtime.SetFinalizer(g.mapped, func(mg *mappedGraph) { _ = mg.close() })
+	return g, nil
+}
+
+// mapBinary builds a Graph whose sections alias the mapped MvG1 bytes,
+// rejecting anything the heap reader would reject.
+func mapBinary(data []byte) (*Graph, error) {
+	var hdr [3]uint64
+	for i := range hdr {
+		hdr[i] = uint64(data[8*i]) | uint64(data[8*i+1])<<8 | uint64(data[8*i+2])<<16 | uint64(data[8*i+3])<<24 |
+			uint64(data[8*i+4])<<32 | uint64(data[8*i+5])<<40 | uint64(data[8*i+6])<<48 | uint64(data[8*i+7])<<56
+	}
+	n, m2, err := validateBinaryHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if want := binaryFileSize(n, m2); int64(len(data)) != want {
+		return nil, fmt.Errorf("graph: header claims n=%d m2=%d (%d bytes), file has %d", n, m2, want, len(data))
+	}
+	offBytes := data[binaryHeaderSize : binaryHeaderSize+8*(n+1)]
+	offsets := castInt64s(offBytes, int(n)+1)
+	adj := castNodes(data[binaryHeaderSize+8*(n+1):], int(m2))
+	if err := validateCSR(offsets, adj); err != nil {
+		return nil, err
+	}
+	return &Graph{offsets: offsets, adj: adj, mapped: &mappedGraph{data: data}}, nil
+}
+
+// Mapped reports whether the graph is served off a read-only file mapping
+// (OpenMapped) rather than heap slices.
+func (g *Graph) Mapped() bool { return g.mapped != nil }
+
+// MappedBytes returns the size of the file mapping backing the graph, or
+// 0 for heap graphs. Mapped bytes are page-cache residency, not process
+// heap.
+func (g *Graph) MappedBytes() int64 {
+	if g.mapped == nil {
+		return 0
+	}
+	return int64(len(g.mapped.data))
+}
+
+// Close releases the file mapping of a mapped graph. After Close every
+// neighbor access faults, so call it only once nothing can still read the
+// graph. On heap graphs (and on repeat calls) it is a no-op.
+func (g *Graph) Close() error {
+	if g.mapped == nil {
+		return nil
+	}
+	runtime.SetFinalizer(g.mapped, nil)
+	return g.mapped.close()
+}
+
+// castInt64s reinterprets a mapped offset-index section as []int64
+// without copying. Safe by construction: b points into a page-aligned
+// mapping at file offset 24 (8-byte aligned), the host is little-endian
+// (OpenMapped gates on it), and the mapping is read-only for its whole
+// lifetime.
+func castInt64s(b []byte, n int) []int64 {
+	if n == 0 {
+		return []int64{}
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// castNodes reinterprets a mapped adjacency arena as []Node (the section
+// starts 4-byte aligned: 24 + 8*(n+1)).
+func castNodes(b []byte, n int) []Node {
+	if n == 0 {
+		return []Node{}
+	}
+	return unsafe.Slice((*Node)(unsafe.Pointer(unsafe.SliceData(b))), n)
+}
+
+// OpenMode selects how Open serves a graph file.
+type OpenMode int
+
+const (
+	// OpenAuto — the default — memory-maps MvG1 binary files (zero-copy,
+	// ~0 heap) falling back to the heap reader where mapping is
+	// unavailable, and streams edge-list files through the two-pass
+	// reader. The right choice everywhere except tests pinning one path.
+	OpenAuto OpenMode = iota
+	// OpenHeap always loads onto the Go heap: ReadBinary for MvG1 files,
+	// the streaming edge-list reader for text.
+	OpenHeap
+	// OpenMapRequire maps or fails — edge-list inputs and unmappable
+	// platforms are errors, for deployments where silently paying the
+	// heap footprint of a billion-edge graph would be an outage.
+	OpenMapRequire
+)
+
+func (m OpenMode) String() string {
+	switch m {
+	case OpenAuto:
+		return "auto"
+	case OpenHeap:
+		return "off"
+	case OpenMapRequire:
+		return "require"
+	}
+	return fmt.Sprintf("OpenMode(%d)", int(m))
+}
+
+// ParseOpenMode converts a mode name (as accepted by the -map-graph CLI
+// flag) into an OpenMode; it is the inverse of OpenMode.String.
+func ParseOpenMode(name string) (OpenMode, error) {
+	switch name {
+	case "auto":
+		return OpenAuto, nil
+	case "off":
+		return OpenHeap, nil
+	case "require":
+		return OpenMapRequire, nil
+	}
+	return 0, fmt.Errorf("graph: unknown open mode %q (want auto, off or require)", name)
+}
+
+// Open loads a host graph from path, sniffing the format: files starting
+// with the MvG1 magic are binary CSRs (memory-mapped or heap-loaded per
+// mode), anything else is parsed as a whitespace edge list through the
+// streaming two-pass reader. Convert an edge list once with WriteBinary
+// (`motivo convert`) and every later Open is O(ms) and heap-free.
+func Open(path string, mode OpenMode) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	bin := false
+	if _, err := io.ReadFull(f, magic[:]); err == nil {
+		m := uint32(magic[0]) | uint32(magic[1])<<8 | uint32(magic[2])<<16 | uint32(magic[3])<<24
+		bin = m == binaryMagic
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if !bin {
+		if mode == OpenMapRequire {
+			return nil, fmt.Errorf("graph: %s is not an MvG1 binary (edge lists cannot be mapped; convert it first)", path)
+		}
+		return ReadEdgeList(f)
+	}
+	if mode != OpenHeap {
+		g, err := OpenMapped(path)
+		if err == nil || mode == OpenMapRequire || !errors.Is(err, ErrNotMappable) {
+			return g, err
+		}
+		// OpenAuto: not mappable here — fall back to the heap reader.
+	}
+	return ReadBinary(f)
+}

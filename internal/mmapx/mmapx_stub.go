@@ -1,0 +1,10 @@
+//go:build !unix
+
+package mmapx
+
+// Map on platforms without memory mapping always reports ErrUnsupported so
+// callers fall back to their heap loaders.
+func Map(path string) ([]byte, error) { return nil, ErrUnsupported }
+
+// Unmap is a no-op on platforms without memory mapping.
+func Unmap(data []byte) error { return nil }

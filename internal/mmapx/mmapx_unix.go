@@ -1,0 +1,39 @@
+//go:build unix
+
+package mmapx
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Map maps path read-only in its entirety (PROT_READ, MAP_SHARED). The
+// descriptor is closed before returning — the mapping keeps the file alive
+// on its own. Empty files cannot be mapped; callers reject them with their
+// own size checks before calling (mmap of zero bytes is EINVAL).
+func Map(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("mmapx: file too large to map on this platform: %d bytes", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapx: mmap %s: %w", path, err)
+	}
+	return data, nil
+}
+
+// Unmap releases a mapping returned by Map.
+func Unmap(data []byte) error {
+	return syscall.Munmap(data)
+}

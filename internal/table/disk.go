@@ -72,6 +72,14 @@ type DiskStore struct {
 // NewDiskStore creates a spill file for n nodes inside dir (or the default
 // temp dir if dir is empty).
 func NewDiskStore(dir string, n int) (*DiskStore, error) {
+	return NewDiskStoreBuffered(dir, n, 1<<20)
+}
+
+// NewDiskStoreBuffered is NewDiskStore with an explicit write-buffer size.
+// The sharded bounded-memory build keeps one live sink per open shard, so
+// it uses small buffers to keep sink memory out of its budget; the
+// single-sink greedy spill path sticks with the 1 MiB default.
+func NewDiskStoreBuffered(dir string, n, bufSize int) (*DiskStore, error) {
 	f, err := os.CreateTemp(dir, "motivo-table-*.spill")
 	if err != nil {
 		return nil, err
@@ -81,7 +89,7 @@ func NewDiskStore(dir string, n int) (*DiskStore, error) {
 		offs[i] = -1
 	}
 	return &DiskStore{
-		f: f, w: bufio.NewWriterSize(f, 1<<20),
+		f: f, w: bufio.NewWriterSize(f, bufSize),
 		offsets: offs, lens: make([]int32, n),
 	}, nil
 }
@@ -123,20 +131,43 @@ func (d *DiskStore) Load(v int32) (Record, error) {
 // contents are the arena (records sit at their flush offsets), so the
 // result plugs straight into Table.SetLevel.
 func (d *DiskStore) LoadAll() (arena []byte, starts []int64, err error) {
-	if err := d.w.Flush(); err != nil {
-		return nil, nil, err
-	}
-	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
-		return nil, nil, err
-	}
 	arena = make([]byte, d.pos)
-	if _, err := io.ReadFull(bufio.NewReaderSize(d.f, 1<<20), arena); err != nil {
-		return nil, nil, fmt.Errorf("table: spill reload: %w", err)
+	if err := d.CopyInto(arena); err != nil {
+		return nil, nil, err
 	}
 	starts = make([]int64, len(d.offsets))
 	copy(starts, d.offsets)
 	return arena, starts, nil
 }
+
+// CopyInto is the spill merge reader: it streams the whole spill file
+// sequentially into dst (which must be exactly Size() bytes) through a
+// bounded 1 MiB buffer. The sharded external merge points dst at a
+// sub-range of the final level arena, so shard spills concatenate into
+// node order without a second whole-level copy ever existing.
+func (d *DiskStore) CopyInto(dst []byte) error {
+	if int64(len(dst)) != d.pos {
+		return fmt.Errorf("table: spill merge into %d bytes, file has %d", len(dst), d.pos)
+	}
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	if d.pos == 0 {
+		return nil
+	}
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(bufio.NewReaderSize(d.f, 1<<20), dst); err != nil {
+		return fmt.Errorf("table: spill reload: %w", err)
+	}
+	return nil
+}
+
+// Offset returns the file offset record i was flushed at, or -1 if i was
+// never flushed — the per-record index the sharded merge shifts into
+// whole-level start offsets.
+func (d *DiskStore) Offset(i int32) int64 { return d.offsets[i] }
 
 // Size returns the current spill file size in bytes.
 func (d *DiskStore) Size() int64 { return d.pos }

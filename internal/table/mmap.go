@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,15 @@ import (
 
 	"repro/internal/coloring"
 )
+
+// statSize returns the size of the file at path.
+func statSize(path string) (int64, error) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
 
 // ErrNotMappable reports that a file cannot be served through OpenMapped
 // but is (or may be) loadable through LoadFile: a pre-v4 format version,

@@ -4,38 +4,25 @@ package table
 
 import (
 	"fmt"
-	"os"
-	"syscall"
+
+	"repro/internal/mmapx"
 )
 
-// mmapFile maps path read-only in its entirety. The descriptor is closed
-// before returning — the mapping keeps the file alive on its own.
+// mmapFile maps path read-only in its entirety through the shared
+// internal/mmapx shim. Files below the v4 header size are rejected before
+// mapping — they cannot be v4 (and mmap of zero bytes is invalid anyway),
+// so the heap loader should produce the real diagnosis.
 func mmapFile(path string) ([]byte, error) {
-	f, err := os.Open(path)
+	fi, err := statSize(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil {
-		return nil, err
+	if fi < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte file is below the v4 header size", ErrNotMappable, fi)
 	}
-	size := st.Size()
-	if size < headerSize {
-		// Too small to be v4; mmap of zero bytes is invalid anyway. Let the
-		// heap loader produce the real diagnosis.
-		return nil, fmt.Errorf("%w: %d-byte file is below the v4 header size", ErrNotMappable, size)
-	}
-	if size != int64(int(size)) {
-		return nil, fmt.Errorf("table: file too large to map on this platform: %d bytes", size)
-	}
-	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
-	if err != nil {
-		return nil, fmt.Errorf("table: mmap %s: %w", path, err)
-	}
-	return data, nil
+	return mmapx.Map(path)
 }
 
 func munmapFile(data []byte) error {
-	return syscall.Munmap(data)
+	return mmapx.Unmap(data)
 }

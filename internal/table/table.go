@@ -165,6 +165,45 @@ func (t *Table) SetLevel(h int, arena []byte, starts []int64) error {
 	return nil
 }
 
+// SetLevelOrdered installs a size level whose arena is already compact
+// and in node order — every non-empty record contiguous with the
+// previous one, offsets ascending with v — taking ownership of arena
+// without the defensive re-copy SetLevel performs. The bounded-memory
+// build's external merge produces exactly this layout (per-shard spills
+// are written in vertex order and concatenated in shard order); the
+// contiguity check here makes the install provably byte-identical to
+// running SetLevel's compaction on the same records.
+func (t *Table) SetLevelOrdered(h int, arena []byte, starts []int64) error {
+	if t.mapped != nil {
+		return fmt.Errorf("table: SetLevelOrdered on a mapped table (the mapping is read-only)")
+	}
+	if len(starts) != t.N {
+		return fmt.Errorf("table: level %d has %d offsets, table has %d nodes", h, len(starts), t.N)
+	}
+	if t.smart != nil && h < minStoredSize {
+		return fmt.Errorf("table: level %d of a smart table is fully synthetic", h)
+	}
+	var next int64
+	for v, off := range starts {
+		if off < 0 {
+			continue
+		}
+		if off != next {
+			return fmt.Errorf("table: level %d record %d at offset %d, want %d (arena not node-ordered)", h, v, off, next)
+		}
+		r, err := ViewRecord(arena[off:])
+		if err != nil {
+			return fmt.Errorf("table: level %d record %d: %w", h, v, err)
+		}
+		next = off + int64(r.enc)
+	}
+	if next != int64(len(arena)) {
+		return fmt.Errorf("table: level %d arena has %d bytes after the last record", h, int64(len(arena))-next)
+	}
+	t.levels[h] = level{arena: arena, starts: starts}
+	return nil
+}
+
 // TotalK returns the total number of colorful k-treelet copies in the urn
 // (the paper's t) — the sum of occ(v) over the size-K records.
 func (t *Table) TotalK() u128.Uint128 {

@@ -68,6 +68,29 @@ func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 // (*Graph).WriteBinary.
 func ReadBinary(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
+// GraphOpenMode selects how OpenGraph loads a graph file: memory-mapped
+// MvG1 (zero-copy, O(ms) open, out-of-core adjacency) or heap-loaded.
+type GraphOpenMode = graph.OpenMode
+
+const (
+	// GraphOpenAuto (the default) maps MvG1 binary files and falls back to
+	// the heap readers for text edge lists or platforms without mmap.
+	GraphOpenAuto = graph.OpenAuto
+	// GraphOpenHeap always loads onto the heap.
+	GraphOpenHeap = graph.OpenHeap
+	// GraphOpenMapRequire maps or fails — no silent fallback to heap
+	// residency (text edge lists are an error in this mode).
+	GraphOpenMapRequire = graph.OpenMapRequire
+)
+
+// OpenGraph opens a graph file by content sniffing: MvG1 binary CSR files
+// (written by (*Graph).WriteBinary, or `motivo convert`) open
+// memory-mapped under GraphOpenAuto — O(ms) regardless of size, with the
+// adjacency served from the page cache — and text edge lists stream
+// through the two-pass reader. The result is identical to ReadEdgeList /
+// ReadBinary on the same data.
+func OpenGraph(path string, mode GraphOpenMode) (*Graph, error) { return graph.Open(path, mode) }
+
 // Deterministic synthetic generators (see internal/gen for the regimes
 // each one reproduces).
 var (
@@ -138,6 +161,14 @@ type Options struct {
 	SampleWorkers int
 	// Spill streams the count table through temp files (greedy flushing).
 	Spill bool
+	// MemBudget, when > 0, runs the build-up phase in bounded-memory mode:
+	// each level is computed in vertex-range shards pulled from a shared
+	// work-stealing queue, completed records stream to per-shard spill
+	// files, and the level is externally merged into its final arena — so
+	// the transient build footprint is bounded by the budget plus the table
+	// itself, instead of scaling with whole in-flight levels. The resulting
+	// table is bit-identical to an unbounded build at any worker count.
+	MemBudget int64
 	// MaterializeStars disables smart-star synthesis (on by default):
 	// star-family treelet records are computed by the DP and stored instead
 	// of being synthesized on demand from colored-degree summaries.
@@ -262,6 +293,7 @@ func coreConfig(opts Options) core.Config {
 		Workers:            opts.Workers,
 		SampleWorkers:      opts.SampleWorkers,
 		Spill:              opts.Spill,
+		MemBudget:          opts.MemBudget,
 		MaterializeStars:   opts.MaterializeStars,
 		TablePath:          opts.TablePath,
 		MapTable:           opts.MapTable,
