@@ -110,8 +110,10 @@ quickstart:
 # (asserting both are served off memory mappings, with the mapped-bytes
 # gauge visible in /metrics), run a seeded count twice asserting the
 # repeat is a byte-identical cache hit (visible in /metrics), post a
-# batch, and keep the legacy /count + /stats aliases honest (needs curl +
-# jq). One copy of the script — the workflow step calls this target.
+# batch, fetch per-node signatures, run a capped run-to-precision count
+# asserting its certificate (and both new counters in /metrics), and keep
+# the legacy /count + /stats aliases honest (needs curl + jq). One copy of
+# the script — the workflow step calls this target.
 serve-smoke:
 	$(GO) build -o /tmp/motivo-smoke ./cmd/motivo
 	/tmp/motivo-smoke gen -type er -n 80 -m 240 -seed 1 -o /tmp/motivo-smoke-er.txt
@@ -137,6 +139,15 @@ serve-smoke:
 	curl -fsS -X POST http://127.0.0.1:18080/v1/batch \
 		-d '{"graph":"ba","queries":[{"samples":2000,"seed":1},{"samples":-1},{"samples":2000,"seed":2}]}' \
 		| jq -e '.graph == "ba" and (.results | length) == 3 and .results[0].count.k == 3 and .results[1].code == "bad_request" and .results[2].count.k == 3'; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/graphs/er/signatures \
+		-d '{"strategy":"ags","samples":4000,"seed":11,"topNodes":5}' -o /tmp/motivo-smoke-sig.json; \
+	jq -e '.graph == "er" and .k == 4 and (.motifs | length) > 0 and (.nodes | length) == 5 and (.nodes[0].vector | length) == (.motifs | length)' /tmp/motivo-smoke-sig.json; \
+	curl -fsS -X POST http://127.0.0.1:18080/v1/graphs/er/count \
+		-d '{"epsilon":0.5,"delta":0.2,"maxSamples":4000,"seed":13}' \
+		| jq -e '.strategy == "ags" and .achieved != null and .achieved.samples <= 4000 and .achieved.delta == 0.2'; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q '^motivo_signature_queries_total 1$$'; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q '^motivo_precision_queries_total 1$$'; \
+	curl -fsS http://127.0.0.1:18080/metrics | grep -q '^motivo_precision_met_total'; \
 	curl -fsS -X POST http://127.0.0.1:18080/count -d '{"samples":3000,"seed":3}' \
 		| jq -e '.k == 4 and (has("graph") | not)'; \
 	curl -fsS http://127.0.0.1:18080/stats | jq -e '.k == 4 and .openMs > 0'

@@ -267,7 +267,9 @@ func BenchmarkFig8NaivePipeline(b *testing.B) {
 			code, _ := urn.Sample(rng)
 			tallies[code]++
 		}
-		estimate.Naive(tallies, 2000, urn.Total().Float64(), sig, col.PColorful)
+		if _, err := estimate.Naive(tallies, 2000, urn.Total().Float64(), sig, col.PColorful); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -791,4 +793,53 @@ func BenchmarkEngineQueryAGS(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/query")
+}
+
+// BenchmarkSignatures tracks the per-node signatures path: the same AGS
+// sampling as BenchmarkEngineQueryAGS plus the per-draw vertex-incidence
+// streaming and the final vector assembly. Ungated: a new family has no
+// committed baseline yet.
+func BenchmarkSignatures(b *testing.B) {
+	g, path := servingTable(b)
+	eng, err := core.Open(g, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Strategy: core.AGS, Samples: servingQueryBudget, CoverThreshold: 200, Seed: 1009}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Signatures(ctx, q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "ms/query")
+}
+
+// BenchmarkRunToPrecision tracks run-to-precision AGS: epochs of drawing
+// plus the periodic Theorem 3 certification check until the loose target
+// certifies (or the cap stops the run). Ungated: new family, no baseline.
+func BenchmarkRunToPrecision(b *testing.B) {
+	g, path := servingTable(b)
+	eng, err := core.Open(g, path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{
+		Strategy: core.AGS, CoverThreshold: 200, Seed: 1009,
+		Epsilon: 0.5, Delta: 0.1, MaxSamples: servingQueryBudget,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var samples int
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Count(ctx, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Samples
+	}
+	b.ReportMetric(float64(samples), "samples/run")
 }

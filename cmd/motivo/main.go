@@ -39,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -302,12 +303,34 @@ func cmdCount(args []string) error {
 	mapGraph := mapGraphFlag(fs)
 	seed := fs.Int64("seed", 1, "run seed")
 	top := fs.Int("top", 20, "how many graphlets to print")
+	eps := fs.Float64("eps", 0, "run-to-precision: sample until estimates are certified within this relative error (AGS; mutually exclusive with -samples)")
+	delta := fs.Float64("delta", 0.05, "run-to-precision confidence parameter δ (the certificate holds with probability 1-δ)")
+	target := fs.String("target", "", "run-to-precision: certify only this canonical motif code (e.g. g3b); empty certifies every tallied motif")
+	maxSamples := fs.Int("max-samples", 0, "run-to-precision sample cap (0 = engine default)")
+	signatures := fs.Int("signatures", 0, "compute per-node graphlet signatures instead of global counts and print the N highest-incidence nodes")
 	verbose := fs.Bool("v", false, "print phase timing detail (open vs build vs sampling, AGS coverage)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("count: -i is required")
+	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *eps == 0 {
+		for _, name := range []string{"delta", "target", "max-samples"} {
+			if set[name] {
+				return fmt.Errorf("count: -%s is a run-to-precision flag; it needs -eps", name)
+			}
+		}
+	} else {
+		if set["samples"] {
+			return fmt.Errorf("count: -samples and -eps are mutually exclusive (a precision run sizes its own budget; cap it with -max-samples)")
+		}
+		if !set["strategy"] {
+			// Run-to-precision is an AGS guarantee; default the strategy.
+			*strategy = "ags"
+		}
 	}
 	strat, err := core.ParseStrategy(*strategy)
 	if err != nil {
@@ -341,7 +364,7 @@ func cmdCount(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := motivo.Count(g, motivo.Options{
+	opts := motivo.Options{
 		K: *k, Samples: *samples, Colorings: *colorings,
 		Strategy: strat, CoverThreshold: *cover,
 		SampleWorkers: *sampleWorkers,
@@ -349,7 +372,24 @@ func cmdCount(args []string) error {
 		MaterializeStars: !*smartStars,
 		TablePath:        *tablePath,
 		MapTable:         mmode,
-	})
+	}
+	if *eps > 0 {
+		opts.Samples = 0
+		opts.Epsilon = *eps
+		opts.Delta = *delta
+		opts.MaxSamples = *maxSamples
+		if *target != "" {
+			code, err := motivo.ParseCode(*target)
+			if err != nil {
+				return fmt.Errorf("count: %w", err)
+			}
+			opts.TargetMotif = code
+		}
+	}
+	if *signatures > 0 {
+		return runSignatures(g, opts, *signatures, *tablePath)
+	}
+	res, err := motivo.Count(g, opts)
 	if err != nil {
 		return err
 	}
@@ -362,6 +402,7 @@ func cmdCount(args []string) error {
 	fmt.Printf("%s %v, sampling %v, %d samples, table %.1f MiB, %d distinct graphlets\n",
 		phase, phaseTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
 		float64(res.TableBytes)/(1<<20), len(res.Counts))
+	printCertificate(res.Achieved)
 	if *verbose {
 		fmt.Printf("  open time:   %v\n", res.OpenTime.Round(1e3))
 		fmt.Printf("  build time:  %v\n", res.BuildTime.Round(1e3))
@@ -373,6 +414,82 @@ func cmdCount(args []string) error {
 	for i, e := range res.Top(*top) {
 		fmt.Printf("%3d. %-30s %14.4g  (%8.5f%%)\n",
 			i+1, motivo.Describe(*k, e.Code), e.Count, 100*e.Frequency)
+	}
+	return nil
+}
+
+// printCertificate renders a run-to-precision certificate (no-op for
+// fixed-budget runs).
+func printCertificate(a *motivo.Certificate) {
+	if a == nil {
+		return
+	}
+	status := "target met"
+	if !a.Met {
+		status = "target NOT met within the sample cap"
+	}
+	if math.IsInf(a.Eps, 1) {
+		fmt.Printf("precision:  nothing certifiable after %d samples (%s)\n", a.Samples, status)
+		return
+	}
+	fmt.Printf("precision:  certified ε=%.4g at confidence %.4g after %d samples (%s)\n",
+		a.Eps, 1-a.Delta, a.Samples, status)
+}
+
+// runSignatures serves `count -signatures N`: the same sampling run, but
+// streaming per-draw vertex incidence into per-node graphlet degree
+// vectors, printed for the N highest-incidence nodes.
+func runSignatures(g *motivo.Graph, opts motivo.Options, topNodes int, tablePath string) error {
+	res, err := motivo.Signatures(g, opts, nil)
+	if err != nil {
+		return err
+	}
+	phase, phaseTime := "build", res.BuildTime
+	if tablePath != "" {
+		phase, phaseTime = "table open", res.OpenTime
+	}
+	fmt.Printf("%s %v, sampling %v, %d samples, %d motifs, %d nodes touched\n",
+		phase, phaseTime.Round(1e6), res.SampleTime.Round(1e6), res.Samples,
+		len(res.Motifs), len(res.Nodes))
+	printCertificate(res.Achieved)
+	nodes := make([]motivo.NodeSignature, len(res.Nodes))
+	copy(nodes, res.Nodes)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Total != nodes[j].Total {
+			return nodes[i].Total > nodes[j].Total
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	if topNodes < len(nodes) {
+		nodes = nodes[:topNodes]
+	}
+	for i, n := range nodes {
+		// Per node, show the three motifs it participates in most — the
+		// full vector is the API's job, not a terminal's.
+		type ent struct {
+			code  motivo.Code
+			count int64
+		}
+		ents := make([]ent, 0, len(res.Motifs))
+		for j, c := range res.Motifs {
+			if n.Counts[j] > 0 {
+				ents = append(ents, ent{c, n.Counts[j]})
+			}
+		}
+		sort.Slice(ents, func(a, b int) bool {
+			if ents[a].count != ents[b].count {
+				return ents[a].count > ents[b].count
+			}
+			return ents[a].code.Less(ents[b].code)
+		})
+		if len(ents) > 3 {
+			ents = ents[:3]
+		}
+		parts := make([]string, len(ents))
+		for j, e := range ents {
+			parts[j] = fmt.Sprintf("%s ×%d", motivo.Describe(opts.K, e.code), e.count)
+		}
+		fmt.Printf("%3d. node %-10d total %-10d %s\n", i+1, n.Node, n.Total, strings.Join(parts, ", "))
 	}
 	return nil
 }

@@ -1,8 +1,15 @@
-// Rare motifs: the paper's Yelp story (Section 5.3) in miniature. On a
-// star-dominated graph virtually every k-graphlet is the star, so naive
-// sampling sees nothing else; AGS covers the star, "deletes" it from the
-// urn by switching spanning-tree shape, and surfaces graphlets whose
-// relative frequency is orders of magnitude below 1/samples.
+// Rare motifs: the paper's Yelp story (Section 5.3) in miniature, now
+// told through the guaranteed-accuracy API. On a star-dominated graph
+// virtually every k-graphlet is the star, so naive sampling sees nothing
+// else; AGS covers the star, "deletes" it from the urn by switching
+// spanning-tree shape, and surfaces graphlets whose relative frequency is
+// orders of magnitude below 1/samples.
+//
+// The second act runs to precision instead of to a fixed budget: sampling
+// continues until Theorem 3 certifies the target motif's estimate within
+// ε at confidence 1-δ, and the returned certificate is checked against
+// the exact count. The third act streams the same draws into per-node
+// graphlet signatures, where the hub is unmistakable.
 package main
 
 import (
@@ -21,6 +28,7 @@ func main() {
 	fmt.Printf("graph: %d nodes, %d edges (hub degree %d)\n\n",
 		g.NumNodes(), g.NumEdges(), g.Degree(0))
 
+	// ---- Act 1: discovery. AGS surfaces what naive sampling cannot. ----
 	const k = 5
 	const budget = 60000
 
@@ -36,21 +44,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	fmt.Printf("%-28s %12s %12s\n", "", "naive", "AGS")
-	fmt.Printf("%-28s %12d %12d\n", "distinct graphlets found", len(naive.Counts), len(ags.Counts))
-
-	rarest := func(r *motivo.Result) float64 {
-		all := r.Top(0)
-		sort.Slice(all, func(i, j int) bool { return all[i].Frequency < all[j].Frequency })
-		for _, e := range all {
-			if e.Frequency > 0 {
-				return e.Frequency
-			}
-		}
-		return 0
-	}
-	fmt.Printf("%-28s %12.3g %12.3g\n\n", "rarest frequency estimated", rarest(naive), rarest(ags))
+	fmt.Printf("%-28s %12d %12d\n\n", "distinct graphlets found", len(naive.Counts), len(ags.Counts))
 
 	fmt.Println("rarest motifs surfaced by AGS (invisible to naive sampling):")
 	all := ags.Top(0)
@@ -62,11 +57,65 @@ func main() {
 		}
 		fmt.Printf("  %-22s freq %.3g\n", motivo.Describe(k, e.Code), e.Frequency)
 		shown++
-		if shown == 8 {
+		if shown == 5 {
 			break
 		}
 	}
 	if shown == 0 {
 		fmt.Println("  (naive sampling saw everything this time — rerun with a larger graph)")
 	}
+
+	// ---- Act 2: guaranteed accuracy. Theorem 3's certificate depends on
+	// p_k·g_i / ((k-1)!·Δ^(k-2)), so it has teeth where the target motif is
+	// abundant relative to the hub degree: at k=3 the star's wedge motif
+	// certifies a tight ε on this graph. A naive pre-pass names the target;
+	// the precision run then sizes its own budget.
+	pre, err := motivo.Count(g, motivo.Options{K: 3, Samples: 20000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := pre.Top(1)[0].Code
+	fmt.Printf("\nrun-to-precision: certifying %q within ε=0.15 at 90%% confidence\n",
+		motivo.Describe(3, target))
+
+	res, err := motivo.Count(g, motivo.Options{
+		K: 3, Strategy: motivo.AGS, Seed: 3,
+		Epsilon: 0.15, Delta: 0.1, TargetMotif: target, MaxSamples: 1 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert := res.Achieved
+	fmt.Printf("  certified ε=%.3f after %d samples (met: %v)\n", cert.Eps, cert.Samples, cert.Met)
+
+	exactCounts, err := motivo.ExactCount(g, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, exact := res.Counts[target], exactCounts[target]
+	fmt.Printf("  estimate %.4g vs exact %.4g — relative error %.4f (certified ≤ %.3f)\n",
+		est, exact, abs(est-exact)/exact, cert.Eps)
+
+	// ---- Act 3: per-node signatures. The same sampling run, streamed
+	// into graphlet degree vectors; the hub's vector dwarfs every leaf's.
+	sig, err := motivo.Signatures(g, motivo.Options{
+		K: 4, Samples: 30000, Strategy: motivo.AGS, Seed: 3,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := make([]motivo.NodeSignature, len(sig.Nodes))
+	copy(nodes, sig.Nodes)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Total > nodes[j].Total })
+	fmt.Printf("\nper-node signatures (k=4, %d samples): top nodes by graphlet incidence\n", sig.Samples)
+	for i := 0; i < 3 && i < len(nodes); i++ {
+		fmt.Printf("  node %-6d total %d\n", nodes[i].Node, nodes[i].Total)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

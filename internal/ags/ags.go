@@ -44,6 +44,7 @@ package ags
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -60,13 +61,60 @@ import (
 // is amortized over thousands of draws.
 const DefaultEpochSize = 256
 
+// DefaultPrecisionCap is the hard sample cap of a run-to-precision run when
+// Precision.MaxSamples is 0: a requested (ε, δ) that Theorem 3 cannot
+// certify on the graph (motif too rare, Δ too large) stops here and reports
+// the precision actually achieved instead of sampling forever.
+const DefaultPrecisionCap = 4 << 20
+
+// precisionCheckEvery is how many sequential draws happen between stopping-
+// rule evaluations; the parallel driver checks at its epoch barriers.
+const precisionCheckEvery = 1024
+
+// Precision asks Run to sample until Theorem 3 certifies the estimates,
+// instead of spending a fixed Budget.
+type Precision struct {
+	// Eps is the requested relative error: stop once
+	// Pr[|ĝ − g| > Eps·g] < Delta holds per Theorem 3.
+	Eps float64
+	// Delta is the allowed failure probability, in (0, 1).
+	Delta float64
+	// Target restricts certification to one canonical motif code. The zero
+	// Code (no edges, never a valid connected graphlet) certifies every
+	// tallied motif instead.
+	Target graphlet.Code
+	// MaxSamples is the hard cap; 0 means DefaultPrecisionCap.
+	MaxSamples int
+}
+
+// Certificate reports the precision a run-to-precision run achieved.
+type Certificate struct {
+	// Eps is the certified relative error at confidence 1−Delta: the
+	// smallest ε for which Theorem 3 holds after Samples draws (for the
+	// target motif, or the worst over all tallied motifs). +Inf when
+	// nothing could be certified, e.g. the target motif was never sampled.
+	Eps float64
+	// Delta is the failure probability the certificate is stated at.
+	Delta float64
+	// Samples is the number of draws behind the certificate.
+	Samples int
+	// Met reports whether the requested ε was reached before the cap.
+	Met bool
+}
+
 // Options configures an AGS run.
 type Options struct {
 	// CoverThreshold is c̄, the number of occurrences after which a
 	// graphlet counts as covered. The paper's experiments use 1000.
 	CoverThreshold int
-	// Budget is the total number of samples to draw.
+	// Budget is the total number of samples to draw. Mutually exclusive
+	// with Precision.
 	Budget int
+	// Precision, when non-nil, replaces the fixed Budget with the
+	// run-to-precision stopping rule: draw until Theorem 3 certifies the
+	// target within Precision.Eps at confidence 1−Precision.Delta, or the
+	// sample cap is hit. The outcome is recorded in Result.Achieved.
+	Precision *Precision
 	// Rng drives all sampling; required. In parallel mode it only seeds
 	// the per-worker generators.
 	Rng *rand.Rand
@@ -74,12 +122,30 @@ type Options struct {
 	// ≤ 1 samples sequentially with per-draw cover detection; ≥ 2 samples
 	// in epochs (see the package comment). Runs are deterministic for a
 	// fixed seed and worker count, but changing Workers changes the draw
-	// sequence.
+	// sequence — unless VirtualWorkers pins the decomposition.
 	Workers int
-	// EpochSize is the number of draws each worker makes between epoch
-	// barriers in parallel mode; 0 means DefaultEpochSize. Ignored when
-	// Workers ≤ 1.
+	// VirtualWorkers, when > 0, fixes the number of deterministic sampling
+	// streams independently of physical parallelism: the epoch driver keeps
+	// VirtualWorkers per-stream states (urn clones, rngs, batch slices) and
+	// executes them on at most Workers goroutines. Results are then
+	// bit-identical for a fixed seed across any Workers count — the
+	// property the signatures workload is specified to. 0 means one stream
+	// per physical worker (the classic behavior, where changing Workers
+	// changes the draw sequence).
+	VirtualWorkers int
+	// EpochSize is the number of draws each (virtual) worker makes between
+	// epoch barriers in parallel mode; 0 means DefaultEpochSize. Ignored
+	// in sequential mode.
 	EpochSize int
+	// Observe, when non-nil, receives every draw: the stream (virtual
+	// worker) index, the canonical code, and the k sampled vertices. The
+	// nodes slice is scratch reused by the sampler — copy it to retain. In
+	// parallel mode Observe is called concurrently from different streams
+	// but never concurrently for the same stream index, so per-stream
+	// accumulators indexed by worker need no locking. Draws of an epoch
+	// that is discarded by cancellation may still have been observed;
+	// callers discard the whole result on error anyway.
+	Observe func(worker int, code graphlet.Code, nodes []int32)
 	// Shapes, when non-nil, supplies the prepared per-shape machinery of
 	// the urn's table (PrepareShapes), skipping the O(n · shapes) shape-urn
 	// construction this Run would otherwise pay. The urn passed to Run must
@@ -113,6 +179,9 @@ type Result struct {
 	// Epochs is the number of merge barriers of a parallel run (0 when
 	// sequential).
 	Epochs int
+	// Achieved is the precision certificate of a run-to-precision run; nil
+	// for fixed-budget runs.
+	Achieved *Certificate
 }
 
 // engine is the merged sampling state shared by the sequential and
@@ -131,6 +200,49 @@ type engine struct {
 	mass map[treelet.Treelet]float64
 	cur  treelet.Treelet
 	res  *Result
+	// stale holds covered graphlets re-drawn since their last ĝ snapshot;
+	// the sequential driver refreshes them in bulk before the next switch
+	// decision. Held on the engine (not the driver) so a chunked
+	// run-to-precision run carries pending refreshes across chunks.
+	stale map[graphlet.Code]bool
+	// pk and maxDeg parameterize the Theorem 3 stopping rule.
+	pk     float64
+	maxDeg int
+}
+
+// epsFor returns the smallest ε Theorem 3 certifies for one motif at
+// confidence 1−delta given the current tallies, or +Inf if the motif has no
+// usable estimate yet.
+func (e *engine) epsFor(code graphlet.Code, delta float64) float64 {
+	c := e.tallies[code]
+	if c == 0 {
+		return math.Inf(1)
+	}
+	w := e.wi(code)
+	if w == 0 {
+		return math.Inf(1)
+	}
+	gi := float64(c) / w / e.pk // estimated copies of H_i in G
+	return estimate.TheoremThreeEps(delta, e.sigma.K, e.pk, gi, e.maxDeg)
+}
+
+// achievedEps evaluates the stopping rule: the certified ε for the target
+// motif, or the worst certified ε over all tallied motifs when no target is
+// set. Max over an unordered map is deterministic (no float accumulation).
+func (e *engine) achievedEps(p *Precision) float64 {
+	if p.Target != (graphlet.Code{}) {
+		return e.epsFor(p.Target, p.Delta)
+	}
+	if len(e.tallies) == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for code := range e.tallies {
+		if eps := e.epsFor(code, p.Delta); eps > worst {
+			worst = eps
+		}
+	}
+	return worst
 }
 
 // wi computes the lazy weight w_i = Σ_j n_j σ_ij / r_j. The sum walks the
@@ -278,8 +390,25 @@ func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 	if opts.Workers < 0 {
 		return nil, fmt.Errorf("ags: Workers must be ≥ 0, got %d", opts.Workers)
 	}
+	if opts.VirtualWorkers < 0 {
+		return nil, fmt.Errorf("ags: VirtualWorkers must be ≥ 0, got %d", opts.VirtualWorkers)
+	}
 	if opts.EpochSize < 0 {
 		return nil, fmt.Errorf("ags: EpochSize must be ≥ 0, got %d", opts.EpochSize)
+	}
+	if p := opts.Precision; p != nil {
+		if opts.Budget != 0 {
+			return nil, fmt.Errorf("ags: Budget and Precision are mutually exclusive")
+		}
+		if !(p.Eps > 0) || math.IsInf(p.Eps, 1) {
+			return nil, fmt.Errorf("ags: Precision.Eps must be positive and finite, got %v", p.Eps)
+		}
+		if !(p.Delta > 0 && p.Delta < 1) {
+			return nil, fmt.Errorf("ags: Precision.Delta must be in (0, 1), got %v", p.Delta)
+		}
+		if p.MaxSamples < 0 {
+			return nil, fmt.Errorf("ags: Precision.MaxSamples must be ≥ 0, got %d", p.MaxSamples)
+		}
 	}
 	if urn.Empty() {
 		return nil, fmt.Errorf("ags: urn is empty")
@@ -303,6 +432,12 @@ func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// The number of deterministic sampling streams: defaults to one per
+	// physical worker; VirtualWorkers pins it independently of Workers.
+	streams := opts.VirtualWorkers
+	if streams == 0 {
+		streams = workers
+	}
 	e := &engine{
 		shapes:  ss.shapes,
 		rj:      ss.rj,
@@ -314,17 +449,38 @@ func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 		mass:    make(map[treelet.Treelet]float64, len(ss.shapes)),
 		cur:     ss.initial,
 		res:     &Result{Workers: workers},
+		stale:   make(map[graphlet.Code]bool),
+		pk:      urn.Col.PColorful,
+		maxDeg:  urn.G.MaxDegree(),
 	}
 	e.res.Tallies = e.tallies
 
+	p := opts.Precision
+	budget := opts.Budget
+	if p != nil {
+		budget = p.MaxSamples
+		if budget == 0 {
+			budget = DefaultPrecisionCap
+		}
+	}
+
 	var err error
-	if workers == 1 {
-		err = runSequential(ctx, e, urns, opts)
+	if streams == 1 {
+		err = runSequential(ctx, e, urns, opts, budget)
 	} else {
-		err = runParallel(ctx, e, urn, urns, opts, workers)
+		err = runParallel(ctx, e, urn, urns, opts, workers, streams, budget)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if p != nil {
+		achieved := e.achievedEps(p)
+		e.res.Achieved = &Certificate{
+			Eps:     achieved,
+			Delta:   p.Delta,
+			Samples: e.res.Samples,
+			Met:     achieved <= p.Eps,
+		}
 	}
 
 	e.res.ColorfulEstimates = make(estimate.Counts, len(e.tallies))
@@ -348,18 +504,38 @@ func Run(ctx context.Context, urn *sample.Urn, opts Options) (*Result, error) {
 // the budget is spent, the active shape changes (the callback cuts the
 // batch short so no draw ever comes from a stale urn), or cancellation is
 // observed. Per-draw state updates are identical to the one-at-a-time
-// loop, so results are bit-identical at equal seed.
-func runSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options) error {
-	// Covered graphlets re-drawn since their last ĝ snapshot; refreshed in
-	// bulk before the next switch decision.
-	stale := make(map[graphlet.Code]bool)
+// loop, so results are bit-identical at equal seed. In precision mode the
+// budget is the sample cap and the Theorem 3 stopping rule is evaluated
+// every precisionCheckEvery draws.
+func runSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options, budget int) error {
+	for e.res.Samples < budget {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		chunk := budget - e.res.Samples
+		if opts.Precision != nil && chunk > precisionCheckEvery {
+			chunk = precisionCheckEvery
+		}
+		if err := drawSequential(ctx, e, urns, opts, chunk); err != nil {
+			return err
+		}
+		if opts.Precision != nil && e.achievedEps(opts.Precision) <= opts.Precision.Eps {
+			return nil
+		}
+	}
+	return nil
+}
+
+// drawSequential draws exactly n more samples (modulo cancellation) with
+// per-draw cover detection.
+func drawSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sample.ShapeUrn, opts Options, n int) error {
 	step := 0
-	for step < opts.Budget {
+	for step < n {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		cur := e.cur
-		urns[cur].SampleBatch(opts.Rng, opts.Budget-step, func(code graphlet.Code, _ []int32) bool {
+		urns[cur].SampleBatch(opts.Rng, n-step, func(code graphlet.Code, nodes []int32) bool {
 			// The weight update precedes the draw in the pseudocode (lines
 			// 7–9); folding it in here is equivalent since drawing never
 			// reads n_j.
@@ -367,10 +543,13 @@ func runSequential(ctx context.Context, e *engine, urns map[treelet.Treelet]*sam
 			e.tallies[code]++
 			e.res.Samples++
 			step++
+			if opts.Observe != nil {
+				opts.Observe(0, code, nodes)
+			}
 			if e.covered[code] {
-				stale[code] = true
+				e.stale[code] = true
 			} else if e.tallies[code] >= int64(opts.CoverThreshold) {
-				refreshStale(e, stale)
+				refreshStale(e, e.stale)
 				e.markCovered(code)
 				e.switchShape()
 				if e.cur != cur {
@@ -401,11 +580,17 @@ func refreshStale(e *engine, stale map[graphlet.Code]bool) {
 	}
 }
 
-// runParallel is the epoch-based driver described in the package comment.
-// Cancellation is detected at the epoch barrier (workers also bail out of
-// a batch early); a canceled run returns ctx.Err() and its partial state is
-// discarded by the caller.
-func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.ShapeUrn, opts Options, workers int) error {
+// runParallel is the epoch-based driver described in the package comment,
+// generalized to `streams` deterministic sampling streams executed on at
+// most `workers` goroutines (streams == workers unless VirtualWorkers is
+// set). Every per-draw and per-merge decision depends only on the stream
+// decomposition, never on goroutine scheduling, so results are
+// bit-identical for a fixed (seed, streams) pair at any physical worker
+// count. Cancellation is detected at the epoch barrier (workers also bail
+// out of a batch early); a canceled run returns ctx.Err() and its partial
+// state is discarded by the caller. In precision mode the budget is the
+// sample cap and the Theorem 3 stopping rule runs at each barrier.
+func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[treelet.Treelet]*sample.ShapeUrn, opts Options, workers, streams, budget int) error {
 	batch := opts.EpochSize
 	if batch == 0 {
 		batch = DefaultEpochSize
@@ -414,25 +599,29 @@ func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[tre
 		urns map[treelet.Treelet]*sample.ShapeUrn
 		rng  *rand.Rand
 	}
-	ws := make([]*workerState, workers)
+	ws := make([]*workerState, streams)
 	for w := range ws {
 		clone := urn.Clone()
 		urns := make(map[treelet.Treelet]*sample.ShapeUrn, len(master))
 		for s, su := range master {
 			urns[s] = su.CloneOnto(clone)
 		}
-		// Seeding draws happen in worker order so the run is reproducible
-		// for a fixed (seed, workers) pair.
+		// Seeding draws happen in stream order so the run is reproducible
+		// for a fixed (seed, streams) pair.
 		ws[w] = &workerState{urns: urns, rng: rand.New(rand.NewSource(opts.Rng.Int63()))}
 	}
+	if workers > streams {
+		workers = streams
+	}
 
-	locals := make([]map[graphlet.Code]int64, workers)
-	for remaining := opts.Budget; remaining > 0; {
-		epoch := workers * batch
+	locals := make([]map[graphlet.Code]int64, streams)
+	sem := make(chan struct{}, workers)
+	for remaining := budget; remaining > 0; {
+		epoch := streams * batch
 		if epoch > remaining {
 			epoch = remaining
 		}
-		base, extra := epoch/workers, epoch%workers
+		base, extra := epoch/streams, epoch%streams
 		var wg sync.WaitGroup
 		for w := range ws {
 			n := base
@@ -446,11 +635,16 @@ func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[tre
 			wg.Add(1)
 			go func(st *workerState, w, n int) {
 				defer wg.Done()
+				sem <- struct{}{} // at most `workers` streams sample at once
+				defer func() { <-sem }()
 				su := st.urns[e.cur]
 				local := make(map[graphlet.Code]int64)
 				i, canceled := 0, false
-				su.SampleBatch(st.rng, n, func(code graphlet.Code, _ []int32) bool {
+				su.SampleBatch(st.rng, n, func(code graphlet.Code, nodes []int32) bool {
 					local[code]++
+					if opts.Observe != nil {
+						opts.Observe(w, code, nodes)
+					}
 					i++
 					if i&255 == 0 && ctx.Err() != nil {
 						canceled = true // partial batch; the barrier discards the epoch
@@ -499,6 +693,9 @@ func runParallel(ctx context.Context, e *engine, urn *sample.Urn, master map[tre
 		e.res.Samples += epoch
 		e.res.Epochs++
 		remaining -= epoch
+		if opts.Precision != nil && e.achievedEps(opts.Precision) <= opts.Precision.Eps {
+			return nil
+		}
 	}
 	return nil
 }

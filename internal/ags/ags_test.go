@@ -4,6 +4,8 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/build"
@@ -176,6 +178,138 @@ func TestAGSCoverageBookkeeping(t *testing.T) {
 	for code := range res.Tallies {
 		if res.Estimates[code] <= 0 {
 			t.Errorf("graphlet %v has tally but estimate %v", code, res.Estimates[code])
+		}
+	}
+}
+
+// TestRunToPrecisionTerminatesEarly: on a low-degree graph Theorem 3
+// certifies a loose ε almost immediately, so the run must stop well short
+// of the cap with a met certificate.
+func TestRunToPrecisionTerminatesEarly(t *testing.T) {
+	u := buildUrn(t, gen.Cycle(2000), 3, 7)
+	res, err := Run(context.Background(), u, Options{
+		CoverThreshold: 200,
+		Rng:            rand.New(rand.NewSource(9)),
+		Precision:      &Precision{Eps: 0.5, Delta: 0.1, MaxSamples: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := res.Achieved
+	if cert == nil {
+		t.Fatal("no certificate")
+	}
+	if !cert.Met || cert.Eps > 0.5 {
+		t.Fatalf("certificate not met: ε=%v after %d samples", cert.Eps, cert.Samples)
+	}
+	if res.Samples >= 1<<20 || res.Samples == 0 {
+		t.Fatalf("run did not stop early: %d samples", res.Samples)
+	}
+	if cert.Samples != res.Samples || cert.Delta != 0.1 {
+		t.Fatalf("certificate %+v inconsistent with result samples %d", cert, res.Samples)
+	}
+}
+
+// TestRunToPrecisionBoundedByCap: a star-heavy graph's Δ^(k-2) makes a
+// tight ε uncertifiable, so the run must terminate exactly at MaxSamples
+// with an honest unmet certificate — never spin past the cap.
+func TestRunToPrecisionBoundedByCap(t *testing.T) {
+	u := buildUrn(t, gen.StarHeavy(1, 400, 25, 5), 4, 11)
+	const cap = 5000
+	res, err := Run(context.Background(), u, Options{
+		CoverThreshold: 100,
+		Rng:            rand.New(rand.NewSource(13)),
+		Precision:      &Precision{Eps: 0.01, Delta: 0.05, MaxSamples: cap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != cap {
+		t.Fatalf("samples = %d, want exactly the cap %d", res.Samples, cap)
+	}
+	cert := res.Achieved
+	if cert == nil {
+		t.Fatal("no certificate")
+	}
+	if cert.Met {
+		t.Fatalf("ε=0.01 cannot be met on a star graph; certificate says met (ε=%v)", cert.Eps)
+	}
+}
+
+// TestRunToPrecisionDeterministicAcrossWorkers: with the stream
+// decomposition pinned via VirtualWorkers, a precision run's estimates,
+// draw count and certificate are bit-identical at any physical worker
+// count.
+func TestRunToPrecisionDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.StarHeavy(1, 300, 40, 3)
+	u := buildUrn(t, g, 4, 11)
+	var base *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := Run(context.Background(), u.Clone(), Options{
+			CoverThreshold: 100,
+			Rng:            rand.New(rand.NewSource(21)),
+			Workers:        workers,
+			VirtualWorkers: 4,
+			Precision:      &Precision{Eps: 0.2, Delta: 0.1, MaxSamples: 20000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if base.Samples != res.Samples || base.Covered != res.Covered {
+			t.Fatalf("workers=%d: samples/covered differ (%d/%d vs %d/%d)",
+				workers, res.Samples, res.Covered, base.Samples, base.Covered)
+		}
+		if !reflect.DeepEqual(base.Tallies, res.Tallies) {
+			t.Fatalf("workers=%d: tallies differ", workers)
+		}
+		if !reflect.DeepEqual(base.Estimates, res.Estimates) {
+			t.Fatalf("workers=%d: estimates differ", workers)
+		}
+		if !reflect.DeepEqual(base.Achieved, res.Achieved) {
+			t.Fatalf("workers=%d: certificates differ: %+v vs %+v", workers, res.Achieved, base.Achieved)
+		}
+	}
+}
+
+// TestObserveStreamsVertexIncidence: the Observe hook sees every draw
+// exactly once with k vertex ids, under both the sequential and the
+// parallel driver.
+func TestObserveStreamsVertexIncidence(t *testing.T) {
+	u := buildUrn(t, gen.ErdosRenyi(40, 110, 9), 4, 3)
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		perStream := make(map[int]int)
+		var badLen int
+		res, err := Run(context.Background(), u.Clone(), Options{
+			Budget:         3000,
+			CoverThreshold: 200,
+			Rng:            rand.New(rand.NewSource(5)),
+			Workers:        workers,
+			Observe: func(stream int, code graphlet.Code, nodes []int32) {
+				mu.Lock()
+				perStream[stream]++
+				if len(nodes) != 4 {
+					badLen++
+				}
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seen int
+		for _, n := range perStream {
+			seen += n
+		}
+		if seen != res.Samples {
+			t.Fatalf("workers=%d: observed %d draws, result says %d", workers, seen, res.Samples)
+		}
+		if badLen != 0 {
+			t.Fatalf("workers=%d: %d draws had wrong vertex count", workers, badLen)
 		}
 	}
 }

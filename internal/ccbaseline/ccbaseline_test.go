@@ -126,7 +126,10 @@ func TestCCSamplerEstimates(t *testing.T) {
 			}
 			tallies[code]++
 		}
-		est := estimate.Naive(tallies, S, smp.Total()/float64(k), sig, col.PColorful)
+		est, err := estimate.Naive(tallies, S, smp.Total()/float64(k), sig, col.PColorful)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for c, v := range est {
 			sum[c] += v / runs
 		}

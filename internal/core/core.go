@@ -167,6 +167,17 @@ type Config struct {
 	// sequences are bit-identical either way; materializing costs build
 	// time and table bytes and exists for comparison and debugging.
 	MaterializeStars bool
+	// Epsilon and Delta request run-to-precision AGS: sample until
+	// Theorem 3 certifies the estimates within relative error Epsilon at
+	// confidence 1−Delta, or MaxSamples is hit. Mutually exclusive with
+	// SamplesPerColoring; requires Strategy == AGS and Colorings == 1.
+	Epsilon float64
+	Delta   float64
+	// TargetMotif restricts the certificate to one canonical motif code;
+	// the zero Code certifies every tallied motif.
+	TargetMotif graphlet.Code
+	// MaxSamples caps a precision run (0 means ags.DefaultPrecisionCap).
+	MaxSamples int
 	// TablePath, when set, skips the build-up phase entirely: the count
 	// table (and the coloring that produced it) is opened from a file
 	// written by BuildTable or `motivo build -o` — the build-once /
@@ -203,6 +214,9 @@ type Result struct {
 	TableBytes int64
 	// Covered is the number of AGS-covered graphlets (last coloring).
 	Covered int
+	// Achieved is the precision certificate of a run-to-precision run (nil
+	// for fixed-budget runs).
+	Achieved *Certificate
 }
 
 // validate checks the parts of the config shared by Count and BuildTable.
@@ -280,7 +294,17 @@ func (cfg Config) query(seed int64) Query {
 		Seed:            seed,
 		SampleWorkers:   cfg.SampleWorkers,
 		BufferThreshold: cfg.BufferThreshold,
+		Epsilon:         cfg.Epsilon,
+		Delta:           cfg.Delta,
+		TargetMotif:     cfg.TargetMotif,
+		MaxSamples:      cfg.MaxSamples,
 	}
+}
+
+// precisionMode reports whether any run-to-precision field of the config
+// is set (mirrors Query.PrecisionMode).
+func (cfg Config) precisionMode() bool {
+	return cfg.Epsilon != 0 || cfg.Delta != 0 || cfg.MaxSamples != 0 || cfg.TargetMotif != (graphlet.Code{})
 }
 
 // Count runs the motivo pipeline on g.
@@ -304,7 +328,16 @@ func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 	if cfg.Colorings < 1 {
 		return nil, fmt.Errorf("core: Colorings must be ≥ 1, got %d", cfg.Colorings)
 	}
-	if cfg.SamplesPerColoring < 1 {
+	if cfg.precisionMode() {
+		// The per-query invariants (AGS-only, positive ε, δ in (0,1)) are
+		// checked by Query.Validate inside Engine.Count.
+		if cfg.Colorings != 1 {
+			return nil, fmt.Errorf("core: run-to-precision requires Colorings == 1 (the certificate covers one coloring), got %d", cfg.Colorings)
+		}
+		if cfg.SamplesPerColoring != 0 {
+			return nil, fmt.Errorf("core: SamplesPerColoring and run-to-precision are mutually exclusive")
+		}
+	} else if cfg.SamplesPerColoring < 1 {
 		return nil, fmt.Errorf("core: SamplesPerColoring must be ≥ 1, got %d", cfg.SamplesPerColoring)
 	}
 	if err := ValidateSampleWorkers(cfg.SampleWorkers); err != nil {
@@ -343,6 +376,7 @@ func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		res.Frequencies = qres.Frequencies
 		res.Samples = qres.Samples
 		res.Covered = qres.Covered
+		res.Achieved = qres.Achieved
 		res.SampleTime = qres.SampleTime
 		return res, nil
 	}
@@ -369,6 +403,7 @@ func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 		}
 		res.Samples += qres.Samples
 		res.Covered = qres.Covered
+		res.Achieved = qres.Achieved
 		res.SampleTime += qres.SampleTime
 		for code, v := range qres.Counts {
 			res.Counts[code] += v / float64(cfg.Colorings)
@@ -378,26 +413,36 @@ func CountContext(ctx context.Context, g *graph.Graph, cfg Config) (*Result, err
 	return res, nil
 }
 
-// naiveTallies draws `budget` samples, optionally in parallel over urn
-// clones (one clone and one derived rng per worker, so results are
-// deterministic for a fixed seed and worker count). The context is checked
-// every 1024 draws; on cancellation the partial tallies are discarded and
-// ctx.Err() returned.
-func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng *rand.Rand) (map[graphlet.Code]int64, error) {
-	if workers > budget {
-		// With more workers than samples the per-worker share rounds to
-		// zero, which used to leave workers 0..n-2 idle while the last one
-		// drew the whole budget; clamping gives every worker ≥ 1 draw.
-		workers = budget
+// naiveTallies draws `budget` samples across `streams` deterministic
+// sampling streams (one urn clone and one derived rng per stream, seeded in
+// stream order), executed on at most `workers` goroutines. Results depend
+// only on (rng seed, streams), never on the physical worker count or
+// goroutine scheduling: the count path passes streams == workers (the
+// classic behavior, where changing SampleWorkers changes the draw
+// sequence), while the signatures path pins streams so its vectors are
+// bit-identical at any worker count. observe, when non-nil, receives every
+// draw with its stream index and sampled vertices (scratch slice — copy to
+// retain); it is never called concurrently for the same stream index. The
+// context is checked every 1024 draws; on cancellation the partial tallies
+// are discarded and ctx.Err() returned.
+func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers, streams int, rng *rand.Rand, observe func(stream int, code graphlet.Code, nodes []int32)) (map[graphlet.Code]int64, error) {
+	if streams > budget {
+		// With more streams than samples the per-stream share rounds to
+		// zero, which used to leave streams 0..n-2 idle while the last one
+		// drew the whole budget; clamping gives every stream ≥ 1 draw.
+		streams = budget
 	}
 	tallies := make(map[graphlet.Code]int64)
-	if workers <= 1 {
+	if streams <= 1 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		i, canceled := 0, false
-		urn.SampleBatch(rng, budget, func(code graphlet.Code, _ []int32) bool {
+		urn.SampleBatch(rng, budget, func(code graphlet.Code, nodes []int32) bool {
 			tallies[code]++
+			if observe != nil {
+				observe(0, code, nodes)
+			}
 			i++
 			if i&1023 == 0 && ctx.Err() != nil {
 				canceled = true
@@ -410,26 +455,38 @@ func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng
 		}
 		return tallies, nil
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > streams {
+		workers = streams
+	}
 	var (
 		mu sync.Mutex
 		wg sync.WaitGroup
 	)
-	per := budget / workers
-	for w := 0; w < workers; w++ {
+	sem := make(chan struct{}, workers)
+	per := budget / streams
+	for w := 0; w < streams; w++ {
 		n := per
-		if w == workers-1 {
-			n = budget - per*(workers-1)
+		if w == streams-1 {
+			n = budget - per*(streams-1)
 		}
 		seed := rng.Int63()
 		wg.Add(1)
-		go func(n int, seed int64) {
+		go func(w, n int, seed int64) {
 			defer wg.Done()
+			sem <- struct{}{} // at most `workers` streams sample at once
+			defer func() { <-sem }()
 			clone := urn.Clone()
 			local := make(map[graphlet.Code]int64)
 			r := rand.New(rand.NewSource(seed))
 			i, canceled := 0, false
-			clone.SampleBatch(r, n, func(code graphlet.Code, _ []int32) bool {
+			clone.SampleBatch(r, n, func(code graphlet.Code, nodes []int32) bool {
 				local[code]++
+				if observe != nil {
+					observe(w, code, nodes)
+				}
 				i++
 				if i&1023 == 0 && ctx.Err() != nil {
 					canceled = true
@@ -438,14 +495,14 @@ func naiveTallies(ctx context.Context, urn *sample.Urn, budget, workers int, rng
 				return true
 			})
 			if canceled {
-				return // partial worker tallies are discarded below
+				return // partial stream tallies are discarded below
 			}
 			mu.Lock()
 			for c, v := range local {
 				tallies[c] += v
 			}
 			mu.Unlock()
-		}(n, seed)
+		}(w, n, seed)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

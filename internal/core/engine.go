@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/coloring"
 	"repro/internal/estimate"
 	"repro/internal/graph"
+	"repro/internal/graphlet"
 	"repro/internal/sample"
 	"repro/internal/table"
 	"repro/internal/treelet"
@@ -208,13 +210,23 @@ func (e *Engine) shapes() (*ags.ShapeSet, error) {
 	return e.shapeSet, e.shapeErr
 }
 
+// Certificate is the (ε, δ) precision certificate returned by a
+// run-to-precision query; see ags.Certificate for field semantics.
+type Certificate = ags.Certificate
+
 // Query parameterizes one count query against an Engine. The zero value of
 // every field except Samples is usable: naive strategy, seed 0, sequential
-// sampling, the paper's cover threshold.
+// sampling, the paper's cover threshold. Setting any of Epsilon, Delta,
+// TargetMotif or MaxSamples switches the query into run-to-precision mode,
+// which is mutually exclusive with a fixed Samples budget.
+//
+// Query is a comparable value: the registry's seeded-result cache keys on
+// the whole struct, so every field that changes what a query computes —
+// including the precision fields — must stay a comparable scalar here.
 type Query struct {
 	// Strategy selects naive sampling or AGS.
 	Strategy Strategy
-	// Samples is the sampling budget (≥ 1).
+	// Samples is the sampling budget (≥ 1). Must be 0 in precision mode.
 	Samples int
 	// CoverThreshold is AGS's c̄ (0 means the paper's default of 1000).
 	CoverThreshold int
@@ -227,18 +239,51 @@ type Query struct {
 	// BufferThreshold overrides the neighbor-buffering degree threshold
 	// (0 keeps the urn's default).
 	BufferThreshold int
+	// Epsilon and Delta request run-to-precision AGS: keep sampling until
+	// Theorem 3 certifies the estimates within relative error Epsilon at
+	// confidence 1−Delta (or MaxSamples is hit). Requires Strategy == AGS
+	// and Samples == 0.
+	Epsilon float64
+	Delta   float64
+	// TargetMotif restricts the certificate to one canonical motif code;
+	// the zero Code certifies every tallied motif.
+	TargetMotif graphlet.Code
+	// MaxSamples caps a precision run (0 means ags.DefaultPrecisionCap).
+	MaxSamples int
+}
+
+// PrecisionMode reports whether any run-to-precision field is set.
+func (q Query) PrecisionMode() bool {
+	return q.Epsilon != 0 || q.Delta != 0 || q.MaxSamples != 0 || q.TargetMotif != (graphlet.Code{})
 }
 
 // Validate checks the query's invariants: a known strategy, a positive
-// sampling budget, a bounded worker count, and a positive cover threshold
-// (0 meaning "the paper's default" is allowed). It is the single
-// validation path shared by the engine itself, the registry, the HTTP
-// layer and the CLI — a query that passes here is servable as-is.
+// sampling budget (or a well-formed precision request), a bounded worker
+// count, and a positive cover threshold (0 meaning "the paper's default" is
+// allowed). It is the single validation path shared by the engine itself,
+// the registry, the HTTP layer and the CLI — a query that passes here is
+// servable as-is.
 func (q Query) Validate() error {
 	if q.Strategy != Naive && q.Strategy != AGS {
 		return fmt.Errorf("core: unknown strategy %d", int(q.Strategy))
 	}
-	if q.Samples < 1 {
+	if q.PrecisionMode() {
+		if q.Strategy != AGS {
+			return fmt.Errorf("core: run-to-precision requires the ags strategy")
+		}
+		if q.Samples != 0 {
+			return fmt.Errorf("core: a fixed Samples budget and run-to-precision are mutually exclusive")
+		}
+		if !(q.Epsilon > 0) || math.IsInf(q.Epsilon, 1) {
+			return fmt.Errorf("core: precision epsilon must be positive and finite, got %v", q.Epsilon)
+		}
+		if !(q.Delta > 0 && q.Delta < 1) {
+			return fmt.Errorf("core: precision delta must be in (0, 1), got %v", q.Delta)
+		}
+		if q.MaxSamples < 0 {
+			return fmt.Errorf("core: max samples must be ≥ 0, got %d", q.MaxSamples)
+		}
+	} else if q.Samples < 1 {
 		return fmt.Errorf("core: samples must be ≥ 1, got %d", q.Samples)
 	}
 	if err := ValidateSampleWorkers(q.SampleWorkers); err != nil {
@@ -248,6 +293,22 @@ func (q Query) Validate() error {
 		if err := ValidateCoverThreshold(q.CoverThreshold); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateTarget checks a non-zero target motif against the engine's k: it
+// must be a canonical connected k-graphlet code, or the certificate would
+// quantify over a motif the sampler can never produce.
+func (e *Engine) validateTarget(q Query) error {
+	if q.TargetMotif == (graphlet.Code{}) {
+		return nil
+	}
+	if !graphlet.IsConnected(e.K(), q.TargetMotif) {
+		return fmt.Errorf("core: target motif %v is not a connected %d-graphlet", q.TargetMotif, e.K())
+	}
+	if graphlet.Canonical(e.K(), q.TargetMotif) != q.TargetMotif {
+		return fmt.Errorf("core: target motif %v is not in canonical form", q.TargetMotif)
 	}
 	return nil
 }
@@ -262,6 +323,9 @@ type QueryResult struct {
 	// AGS-covered graphlets (0 under the naive strategy).
 	Samples int
 	Covered int
+	// Achieved is the precision certificate of a run-to-precision query
+	// (nil for fixed-budget queries).
+	Achieved *Certificate
 	// SampleTime is the wall-clock sampling duration of this query.
 	SampleTime time.Duration
 }
@@ -274,6 +338,9 @@ func (e *Engine) Count(ctx context.Context, q Query) (*QueryResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if err := e.validateTarget(q); err != nil {
+		return nil, err
+	}
 	cover := q.CoverThreshold
 	if cover == 0 {
 		cover = 1000
@@ -284,7 +351,11 @@ func (e *Engine) Count(ctx context.Context, q Query) (*QueryResult, error) {
 	res := &QueryResult{Counts: make(estimate.Counts)}
 	if e.urn.Empty() {
 		// An unlucky coloring of a tiny graph: every graphlet estimates to
-		// zero, which is what the estimator semantics prescribe.
+		// zero, which is what the estimator semantics prescribe. A precision
+		// query still reports a certificate — an empty urn certifies nothing.
+		if q.PrecisionMode() {
+			res.Achieved = &Certificate{Eps: math.Inf(1), Delta: q.Delta}
+		}
 		res.Frequencies = estimate.Frequencies(res.Counts)
 		return res, nil
 	}
@@ -306,26 +377,40 @@ func (e *Engine) Count(ctx context.Context, q Query) (*QueryResult, error) {
 	start := time.Now()
 	switch q.Strategy {
 	case Naive:
-		tallies, err := naiveTallies(ctx, urn, q.Samples, q.SampleWorkers, rng)
+		tallies, err := naiveTallies(ctx, urn, q.Samples, q.SampleWorkers, q.SampleWorkers, rng, nil)
 		if err != nil {
 			return nil, err
 		}
-		res.Counts = estimate.Naive(tallies, int64(q.Samples), urn.Total().Float64(), e.sig, e.col.PColorful)
+		res.Counts, err = estimate.Naive(tallies, int64(q.Samples), urn.Total().Float64(), e.sig, e.col.PColorful)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
 		res.Samples = q.Samples
 	case AGS:
-		out, err := ags.Run(ctx, urn, ags.Options{
+		aopts := ags.Options{
 			CoverThreshold: cover,
-			Budget:         q.Samples,
 			Rng:            rng,
 			Workers:        q.SampleWorkers,
 			Shapes:         ss,
-		})
+		}
+		if q.PrecisionMode() {
+			aopts.Precision = &ags.Precision{
+				Eps:        q.Epsilon,
+				Delta:      q.Delta,
+				Target:     q.TargetMotif,
+				MaxSamples: q.MaxSamples,
+			}
+		} else {
+			aopts.Budget = q.Samples
+		}
+		out, err := ags.Run(ctx, urn, aopts)
 		if err != nil {
 			return nil, err
 		}
 		res.Counts = out.Estimates
 		res.Samples = out.Samples
 		res.Covered = out.Covered
+		res.Achieved = out.Achieved
 	default:
 		return nil, fmt.Errorf("core: unknown strategy %d", q.Strategy)
 	}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/graphlet"
+)
+
+// TestSignaturesSumProperty is the conservation law of per-node vectors:
+// every sampled occurrence touches exactly k distinct vertices, so summing
+// the unfiltered node vectors recovers k × tally for every motif.
+func TestSignaturesSumProperty(t *testing.T) {
+	g := gen.ErdosRenyi(60, 180, 11)
+	const k = 4
+	eng, _ := engineFixture(t, g, k, 13)
+	for _, strat := range []Strategy{Naive, AGS} {
+		res, err := eng.Signatures(context.Background(), Query{
+			Strategy: strat, Samples: 6000, CoverThreshold: 200, Seed: 29,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Motifs) == 0 || len(res.Nodes) == 0 {
+			t.Fatalf("%v: empty signatures (motifs=%d nodes=%d)", strat, len(res.Motifs), len(res.Nodes))
+		}
+		for i, code := range res.Motifs {
+			var sum int64
+			for _, n := range res.Nodes {
+				sum += n.Counts[i]
+			}
+			if want := int64(k) * res.Tallies[code]; sum != want {
+				t.Errorf("%v: motif %v node-sum = %d, want k×tally = %d", strat, code, sum, want)
+			}
+		}
+		var totals, tallies int64
+		for _, n := range res.Nodes {
+			totals += n.Total
+		}
+		for _, c := range res.Tallies {
+			tallies += c
+		}
+		if totals != int64(k)*tallies {
+			t.Errorf("%v: Σ totals = %d, want k×Σ tallies = %d", strat, totals, int64(k)*tallies)
+		}
+	}
+}
+
+// TestSignaturesDeterministicAcrossWorkers: signatures pin their stream
+// decomposition, so a fixed seed must give bit-identical vectors at any
+// SampleWorkers count — for both strategies.
+func TestSignaturesDeterministicAcrossWorkers(t *testing.T) {
+	g := gen.ErdosRenyi(50, 140, 23)
+	eng, _ := engineFixture(t, g, 4, 31)
+	for _, strat := range []Strategy{Naive, AGS} {
+		var base *SignaturesResult
+		for _, workers := range []int{0, 1, 4} {
+			res, err := eng.Signatures(context.Background(), Query{
+				Strategy: strat, Samples: 5000, CoverThreshold: 150,
+				Seed: 41, SampleWorkers: workers,
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.SampleTime = 0 // wall clock, legitimately varies
+			if base == nil {
+				base = res
+				continue
+			}
+			if !reflect.DeepEqual(base.Motifs, res.Motifs) ||
+				!reflect.DeepEqual(base.Nodes, res.Nodes) ||
+				!reflect.DeepEqual(base.Tallies, res.Tallies) ||
+				base.Samples != res.Samples || base.Covered != res.Covered {
+				t.Fatalf("%v: signatures differ at SampleWorkers=%d", strat, workers)
+			}
+		}
+	}
+}
+
+// TestSignaturesNodeFilter: an explicit node list restricts the vectors to
+// exactly those nodes (deduplicated, sorted, zero vectors for untouched
+// ones), and out-of-range ids are rejected.
+func TestSignaturesNodeFilter(t *testing.T) {
+	g := gen.StarHeavy(1, 200, 10, 7)
+	eng, _ := engineFixture(t, g, 3, 17)
+	res, err := eng.Signatures(context.Background(), Query{
+		Strategy: Naive, Samples: 2000, Seed: 5,
+	}, []int32{0, 5, 5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 {
+		t.Fatalf("filtered nodes = %d, want 3 (deduplicated)", len(res.Nodes))
+	}
+	for i, want := range []int32{0, 3, 5} {
+		if res.Nodes[i].Node != want {
+			t.Fatalf("node[%d] = %d, want %d (ascending)", i, res.Nodes[i].Node, want)
+		}
+	}
+	// The hub touches every star sample; with k=3 every draw touches it.
+	if res.Nodes[0].Total == 0 {
+		t.Error("hub signature is empty")
+	}
+	if _, err := eng.Signatures(context.Background(), Query{Samples: 10, Seed: 1}, []int32{9999}); err == nil {
+		t.Error("out-of-range node id must fail")
+	}
+}
+
+// TestPrecisionWithinEpsOfExact is the acceptance test of run-to-precision
+// mode: on a brute-force-checkable graph the run must terminate with a met
+// certificate whose target-motif estimate is within the certified ε of the
+// exact count. A cycle keeps Δ=2, so Theorem 3 certifies a tight ε fast.
+func TestPrecisionWithinEpsOfExact(t *testing.T) {
+	g := gen.Cycle(20000)
+	const k = 3
+	exactCounts, err := exact.Count(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(g, Config{
+		K: k, Colorings: 1, Strategy: AGS, CoverThreshold: 500, Seed: 19,
+		Epsilon: 0.15, Delta: 0.1, MaxSamples: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := res.Achieved
+	if cert == nil {
+		t.Fatal("precision run returned no certificate")
+	}
+	if !cert.Met {
+		t.Fatalf("certificate not met: ε=%v after %d samples", cert.Eps, cert.Samples)
+	}
+	if cert.Eps > 0.15 || math.IsInf(cert.Eps, 1) {
+		t.Fatalf("certified ε=%v exceeds requested 0.15", cert.Eps)
+	}
+	if cert.Samples != res.Samples || cert.Samples <= 0 {
+		t.Fatalf("certificate samples %d vs result %d", cert.Samples, res.Samples)
+	}
+	// A cycle's only connected 3-graphlet is the path; check the estimate
+	// against ground truth within the certified ε.
+	for code, want := range exactCounts {
+		got := res.Counts[code]
+		if relErr := math.Abs(got-want) / want; relErr > cert.Eps {
+			t.Errorf("motif %v: estimate %.4g vs exact %.4g, rel err %.4f > certified ε %.4f",
+				code, got, want, relErr, cert.Eps)
+		}
+	}
+}
+
+// TestPrecisionValidation: precision fields are mutually exclusive with a
+// fixed budget, require AGS, and reject nonsense ε/δ.
+func TestPrecisionValidation(t *testing.T) {
+	g := gen.ErdosRenyi(30, 80, 3)
+	eng, _ := engineFixture(t, g, 3, 7)
+	bad := []Query{
+		{Strategy: AGS, Samples: 100, Epsilon: 0.1, Delta: 0.1},   // both budgets
+		{Strategy: Naive, Epsilon: 0.1, Delta: 0.1},               // naive precision
+		{Strategy: AGS, Epsilon: -1, Delta: 0.1},                  // bad ε
+		{Strategy: AGS, Epsilon: 0.1, Delta: 1.5},                 // bad δ
+		{Strategy: AGS, Epsilon: 0.1, Delta: 0.1, MaxSamples: -1}, // bad cap
+	}
+	for i, q := range bad {
+		if _, err := eng.Count(context.Background(), q); err == nil {
+			t.Errorf("bad query %d accepted: %+v", i, q)
+		}
+	}
+	// A precision query with a target that is not canonical/connected fails.
+	if _, err := eng.Count(context.Background(), Query{
+		Strategy: AGS, Epsilon: 0.5, Delta: 0.1,
+		TargetMotif: graphlet.Code{Lo: 1 << 60},
+	}); err == nil {
+		t.Error("non-canonical target accepted")
+	}
+}

@@ -1,6 +1,9 @@
 package estimate
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // TheoremThreeBound evaluates the multiplicative concentration bound of
 // Theorem 3 of the paper:
@@ -10,33 +13,85 @@ import "math"
 // where p_k is the colorful probability, g_i the (estimated) number of
 // copies of the graphlet, and Δ the maximum degree of the host graph. It
 // returns the probability bound (clamped to 1). Callers use it to decide
-// whether a coloring-induced estimate for a graphlet is trustworthy, and
-// the biased-coloring λ selection uses it through BiasedAccuracyLoss.
+// whether a coloring-induced estimate for a graphlet is trustworthy; the
+// run-to-precision stopping rule calls it in a loop, so every degenerate
+// input (NaN/Inf parameters, Δ=0 on a k>2 query, p_k≤0) must collapse to
+// the trivial bound 1 rather than produce NaN or a spurious 0 that would
+// certify garbage.
 func TheoremThreeBound(eps float64, k int, pColorful, gi float64, maxDegree int) float64 {
-	if eps <= 0 || gi <= 0 || k < 2 {
+	if !(eps > 0) || !(gi > 0) || !(pColorful > 0) || k < 2 {
+		return 1 // also catches NaN: !(NaN > 0)
+	}
+	if math.IsInf(eps, 1) || math.IsInf(gi, 1) {
+		// An infinite ε or ĝ_i is an upstream estimator failure (e.g. a
+		// zero sampling weight), not evidence of concentration.
 		return 1
 	}
 	den := factorial(k-1) * math.Pow(float64(maxDegree), float64(k-2))
+	if !(den > 0) || math.IsInf(den, 1) {
+		// Δ=0 with k>2 (empty or degenerate host graph) or an overflowed
+		// denominator: the bound is uninformative.
+		return 1
+	}
 	exponent := eps * eps / 2 * pColorful * gi / den
+	if math.IsNaN(exponent) {
+		return 1
+	}
 	b := 2 * math.Exp(-exponent)
-	if b > 1 {
+	if b > 1 || math.IsNaN(b) {
 		return 1
 	}
 	return b
+}
+
+// TheoremThreeEps inverts TheoremThreeBound: it returns the smallest ε for
+// which the Theorem 3 failure probability is at most delta, i.e.
+//
+//	ε = sqrt(2·ln(2/δ) · (k−1)!·Δ^(k−2) / (p_k·g_i))
+//
+// Run-to-precision uses it both as the stopping rule (stop once ε ≤ the
+// requested precision) and to report the precision actually achieved when
+// the sample cap is hit first. Degenerate inputs (no copies seen, Δ=0 with
+// k>2, NaN anywhere) yield +Inf: "nothing certified".
+func TheoremThreeEps(delta float64, k int, pColorful, gi float64, maxDegree int) float64 {
+	if !(delta > 0) || delta >= 1 || !(gi > 0) || !(pColorful > 0) || k < 2 {
+		return math.Inf(1)
+	}
+	den := factorial(k-1) * math.Pow(float64(maxDegree), float64(k-2))
+	if !(den > 0) || math.IsInf(den, 1) {
+		return math.Inf(1)
+	}
+	eps := math.Sqrt(2 * math.Log(2/delta) * den / (pColorful * gi))
+	if math.IsNaN(eps) {
+		return math.Inf(1)
+	}
+	return eps
 }
 
 // BiasedAccuracyLoss compares the Theorem 3 exponents under uniform and
 // biased coloring: it returns the ratio p_biased/p_uniform, i.e. the factor
 // by which the concentration exponent shrinks when using biased coloring
 // with parameter λ (Section 3.4: "the accuracy loss remains negligible as
-// long as λ^(k−1)·n/Δ^(k−2) is large").
-func BiasedAccuracyLoss(k int, lambda float64) float64 {
+// long as λ^(k−1)·n/Δ^(k−2) is large"). Biased coloring is only defined for
+// λ ∈ (0, 1/(k−1)); out-of-range λ is rejected rather than silently
+// returning a negative "probability ratio" (p_b = k!·λ^(k−1)·(1−(k−1)λ)
+// goes negative past the boundary), and the boundary itself clamps to 0.
+func BiasedAccuracyLoss(k int, lambda float64) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("estimate: biased accuracy loss needs k >= 2, got %d", k)
+	}
+	if !(lambda > 0) || lambda*float64(k-1) > 1 || math.IsNaN(lambda) {
+		return 0, fmt.Errorf("estimate: biased coloring lambda %v out of range (0, 1/%d]", lambda, k-1)
+	}
 	pu := 1.0
 	for i := 1; i <= k; i++ {
 		pu *= float64(i) / float64(k)
 	}
 	pb := factorial(k) * math.Pow(lambda, float64(k-1)) * (1 - float64(k-1)*lambda)
-	return pb / pu
+	if pb < 0 {
+		pb = 0 // λ = 1/(k−1) exactly: rounding may dip below zero
+	}
+	return pb / pu, nil
 }
 
 func factorial(n int) float64 {

@@ -27,33 +27,152 @@ func TestTheoremThreeBoundBehaviour(t *testing.T) {
 	if !(b4 > b1) {
 		t.Errorf("bound should weaken with Δ: %v vs %v", b1, b4)
 	}
-	// Degenerate inputs clamp to 1.
-	if TheoremThreeBound(0, 5, 0.038, 1e6, 100) != 1 {
-		t.Error("ε=0 must give the trivial bound")
-	}
-	if TheoremThreeBound(0.1, 5, 0.038, 0, 100) != 1 {
-		t.Error("g=0 must give the trivial bound")
-	}
 	// Never exceeds 1.
 	if b := TheoremThreeBound(1e-9, 8, 1e-4, 1, 1e6); b > 1 {
 		t.Errorf("bound %v > 1", b)
 	}
 }
 
+// TestTheoremThreeBoundDegenerate: the run-to-precision stopping rule calls
+// the bound in a loop, so every degenerate input must return exactly the
+// trivial bound 1 — never NaN (the loop would spin: NaN ≤ δ is false
+// forever) and never a spurious 0 (the loop would certify garbage).
+func TestTheoremThreeBoundDegenerate(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	cases := []struct {
+		name      string
+		eps       float64
+		k         int
+		pColorful float64
+		gi        float64
+		maxDeg    int
+	}{
+		{"eps=0", 0, 5, 0.038, 1e6, 100},
+		{"eps<0", -0.1, 5, 0.038, 1e6, 100},
+		{"eps=NaN", nan, 5, 0.038, 1e6, 100},
+		{"eps=Inf", inf, 5, 0.038, 1e6, 100},
+		{"gi=0", 0.1, 5, 0.038, 0, 100},
+		{"gi=NaN", 0.1, 5, 0.038, nan, 100},
+		{"gi=Inf", 0.1, 5, 0.038, inf, 100},
+		{"pk=0", 0.1, 5, 0, 1e6, 100},
+		{"pk=NaN", 0.1, 5, nan, 1e6, 100},
+		{"k<2", 0.1, 1, 0.038, 1e6, 100},
+		{"maxDegree=0,k>2", 0.1, 5, 0.038, 1e6, 0}, // den = 24·0^3 = 0
+	}
+	for _, tc := range cases {
+		if got := TheoremThreeBound(tc.eps, tc.k, tc.pColorful, tc.gi, tc.maxDeg); got != 1 {
+			t.Errorf("%s: bound = %v, want trivial bound 1", tc.name, got)
+		}
+	}
+	// maxDegree=0 with k=2 is fine: Δ^0 = 1, the bound stays defined.
+	if got := TheoremThreeBound(0.5, 2, 0.5, 1e6, 0); !(got < 1) {
+		t.Errorf("k=2, Δ=0: bound = %v, want informative (<1)", got)
+	}
+}
+
+// TestTheoremThreeEpsInvertsBound: the achieved-ε helper must agree with
+// the bound it inverts — at the returned ε the failure probability is ≤ δ,
+// and just below it the bound exceeds δ.
+func TestTheoremThreeEpsInvertsBound(t *testing.T) {
+	const (
+		delta = 0.05
+		k     = 5
+		pk    = 0.038
+		gi    = 3e9
+		maxD  = 10
+	)
+	eps := TheoremThreeEps(delta, k, pk, gi, maxD)
+	if !(eps > 0) || math.IsInf(eps, 1) {
+		t.Fatalf("achieved eps = %v, want finite positive", eps)
+	}
+	if b := TheoremThreeBound(eps, k, pk, gi, maxD); b > delta*(1+1e-9) {
+		t.Errorf("bound at achieved eps = %v > delta %v", b, delta)
+	}
+	if b := TheoremThreeBound(eps*0.99, k, pk, gi, maxD); b <= delta {
+		t.Errorf("bound just below achieved eps = %v, want > delta %v", b, delta)
+	}
+	// Degenerate inputs yield +Inf: nothing certified.
+	for name, got := range map[string]float64{
+		"gi=0":     TheoremThreeEps(delta, k, pk, 0, maxD),
+		"gi=NaN":   TheoremThreeEps(delta, k, pk, math.NaN(), maxD),
+		"delta=0":  TheoremThreeEps(0, k, pk, gi, maxD),
+		"delta>=1": TheoremThreeEps(1, k, pk, gi, maxD),
+		"Δ=0,k>2":  TheoremThreeEps(delta, k, pk, gi, 0),
+	} {
+		if !math.IsInf(got, 1) {
+			t.Errorf("%s: achieved eps = %v, want +Inf", name, got)
+		}
+	}
+}
+
 func TestBiasedAccuracyLoss(t *testing.T) {
 	// At λ = 1/k the biased distribution is uniform: loss factor 1.
 	for k := 3; k <= 8; k++ {
-		if got := BiasedAccuracyLoss(k, 1/float64(k)); math.Abs(got-1) > 1e-9 {
+		got, err := BiasedAccuracyLoss(k, 1/float64(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if math.Abs(got-1) > 1e-9 {
 			t.Errorf("k=%d: loss at uniform λ = %v, want 1", k, got)
 		}
 	}
 	// Smaller λ → smaller colorful probability → loss < 1, monotone.
 	prev := 1.0
 	for _, lam := range []float64{0.18, 0.12, 0.06, 0.02} {
-		got := BiasedAccuracyLoss(5, lam)
+		got, err := BiasedAccuracyLoss(5, lam)
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lam, err)
+		}
 		if got >= prev {
 			t.Errorf("loss not decreasing at λ=%v: %v >= %v", lam, got, prev)
 		}
 		prev = got
+	}
+}
+
+// TestBiasedAccuracyLossLambdaBoundary: table-driven sweep over the λ
+// validity boundary. p_b = k!·λ^(k−1)·(1−(k−1)λ) is only a probability for
+// λ ∈ (0, 1/(k−1)); past the boundary the old code returned a negative
+// ratio. Now: in-range λ gives a non-negative finite ratio, the boundary
+// itself clamps to exactly 0, and out-of-range λ is an error.
+func TestBiasedAccuracyLossLambdaBoundary(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 7} {
+		boundary := 1 / float64(k-1)
+		cases := []struct {
+			name    string
+			lambda  float64
+			wantErr bool
+			want0   bool // expect (numerically) zero
+		}{
+			{"negative", -0.1, true, false},
+			{"zero", 0, true, false},
+			{"NaN", math.NaN(), true, false},
+			{"tiny", 1e-6, false, false},
+			{"uniform", 1 / float64(k), false, false},
+			{"just inside", boundary * 0.999, false, false},
+			{"boundary", boundary, false, true},
+			{"just outside", boundary * 1.001, true, false},
+			{"one", 1, true, false},
+			{"huge", 10, true, false},
+		}
+		for _, tc := range cases {
+			got, err := BiasedAccuracyLoss(k, tc.lambda)
+			if tc.wantErr {
+				if err == nil {
+					t.Errorf("k=%d λ=%s: loss = %v, want error", k, tc.name, got)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("k=%d λ=%s: unexpected error %v", k, tc.name, err)
+				continue
+			}
+			if got < 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("k=%d λ=%s: loss = %v, want non-negative finite", k, tc.name, got)
+			}
+			if tc.want0 && got > 1e-9 {
+				t.Errorf("k=%d λ=%s: loss = %v, want ~0", k, tc.name, got)
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@
 package estimate
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -85,17 +86,25 @@ func (s *SigmaShapes) Of(c graphlet.Code) map[treelet.Treelet]int64 {
 // k-treelets in the urn and σ_i spanning trees per copy,
 // ĉ_i = (t/σ_i)(x_i/S) estimates the colorful copies and dividing by the
 // colorful probability p_k gives the estimate of all copies.
-func Naive(tallies map[graphlet.Code]int64, samples int64, t float64, sig *Sigma, pColorful float64) Counts {
+//
+// A tallied code with σ_i = 0 means the tally does not describe a connected
+// k-graphlet — a corrupt or mismatched table — and dividing by it would
+// poison every downstream Frequencies call with Inf/NaN, so it is reported
+// as an error instead.
+func Naive(tallies map[graphlet.Code]int64, samples int64, t float64, sig *Sigma, pColorful float64) (Counts, error) {
 	out := make(Counts, len(tallies))
 	if samples == 0 {
-		return out
+		return out, nil
 	}
 	for code, x := range tallies {
 		sigma := float64(sig.Of(code))
+		if sigma == 0 {
+			return nil, fmt.Errorf("estimate: tallied code %v has zero spanning trees (corrupt or mismatched table)", code)
+		}
 		colorful := t / sigma * float64(x) / float64(samples)
 		out[code] = colorful / pColorful
 	}
-	return out
+	return out, nil
 }
 
 // Frequencies normalizes counts into a frequency vector. The total is

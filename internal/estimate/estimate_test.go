@@ -51,7 +51,10 @@ func TestNaiveEstimator(t *testing.T) {
 	// colorful triangles = (300/3)·0.6 = 60; estimate = 120.
 	tallies := map[graphlet.Code]int64{tri: 60, wedge: 40}
 	sig := NewSigma(3)
-	est := Naive(tallies, 100, 300, sig, 0.5)
+	est, err := Naive(tallies, 100, 300, sig, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(est[tri]-120) > 1e-9 {
 		t.Errorf("triangle estimate %v, want 120", est[tri])
 	}
@@ -59,8 +62,25 @@ func TestNaiveEstimator(t *testing.T) {
 	if math.Abs(est[wedge]-240) > 1e-9 {
 		t.Errorf("wedge estimate %v, want 240", est[wedge])
 	}
-	if len(Naive(tallies, 0, 300, sig, 0.5)) != 0 {
-		t.Error("zero samples must give empty estimates")
+	empty, err := Naive(tallies, 0, 300, sig, 0.5)
+	if err != nil || len(empty) != 0 {
+		t.Errorf("zero samples must give empty estimates (got %v, err %v)", empty, err)
+	}
+}
+
+// TestNaiveRejectsZeroSigma: a tally whose code has no spanning trees (a
+// disconnected "graphlet" — only possible with a corrupt or mismatched
+// table) must surface as an error, not as Inf/NaN estimates that would
+// poison Frequencies.
+func TestNaiveRejectsZeroSigma(t *testing.T) {
+	disconnected := code(3, [][2]int{{0, 1}}) // node 2 isolated: σ = 0
+	sig := NewSigma(3)
+	if sig.Of(disconnected) != 0 {
+		t.Fatalf("σ(disconnected) = %d, want 0", sig.Of(disconnected))
+	}
+	tallies := map[graphlet.Code]int64{tri: 10, disconnected: 1}
+	if est, err := Naive(tallies, 11, 300, sig, 0.5); err == nil {
+		t.Fatalf("Naive accepted σ=0 tally: %v", est)
 	}
 }
 

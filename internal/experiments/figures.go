@@ -265,7 +265,10 @@ func biasedRunErrors(g *graph.Graph, k int, lambda float64, truth estimate.Count
 			code, _ := urn.Sample(rng)
 			tallies[code]++
 		}
-		est := estimate.Naive(tallies, S, urn.Total().Float64(), sig, col.PColorful)
+		est, err := estimate.Naive(tallies, S, urn.Total().Float64(), sig, col.PColorful)
+		if err != nil {
+			panic(err)
+		}
 		for c, v := range est {
 			sum[c] += v / runs
 		}
@@ -371,7 +374,11 @@ func naiveRun(g *graph.Graph, k int, seed int64, budget int) (estimate.Counts, m
 		tallies[code]++
 	}
 	sig := estimate.NewSigma(k)
-	return estimate.Naive(tallies, int64(budget), urn.Total().Float64(), sig, col.PColorful), tallies
+	est, err := estimate.Naive(tallies, int64(budget), urn.Total().Float64(), sig, col.PColorful)
+	if err != nil {
+		panic(err)
+	}
+	return est, tallies
 }
 
 // Fig8ErrorDistributions reproduces Figure 8: the distribution of the

@@ -15,6 +15,7 @@ package graphlet
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/treelet"
@@ -77,6 +78,43 @@ func (c Code) String() string {
 		return fmt.Sprintf("g%x", c.Lo)
 	}
 	return fmt.Sprintf("g%x%016x", c.Hi, c.Lo)
+}
+
+// ParseCode parses the String form back into a Code: "g" followed by the
+// hex adjacency bits ("g3b", or, past 64 bits, the Hi word then exactly 16
+// hex digits of Lo). It is the inverse of String, used wherever a motif is
+// named over the wire (the signatures/precision APIs and the CLI -target
+// flag).
+func ParseCode(s string) (Code, error) {
+	if len(s) < 2 || s[0] != 'g' {
+		return Code{}, fmt.Errorf("graphlet: code %q must be \"g\" + hex digits", s)
+	}
+	digits := s[1:]
+	if len(digits) <= 16 {
+		lo, err := strconv.ParseUint(digits, 16, 64)
+		if err != nil {
+			return Code{}, fmt.Errorf("graphlet: bad code %q: %v", s, err)
+		}
+		return Code{Lo: lo}, nil
+	}
+	split := len(digits) - 16
+	if split > 16 {
+		return Code{}, fmt.Errorf("graphlet: code %q longer than 128 bits", s)
+	}
+	if digits[0] == '0' {
+		// String never emits leading zeros in the Hi word; rejecting them
+		// keeps ParseCode a strict inverse (one spelling per code).
+		return Code{}, fmt.Errorf("graphlet: code %q has leading zeros", s)
+	}
+	hi, err := strconv.ParseUint(digits[:split], 16, 64)
+	if err != nil {
+		return Code{}, fmt.Errorf("graphlet: bad code %q: %v", s, err)
+	}
+	lo, err := strconv.ParseUint(digits[split:], 16, 64)
+	if err != nil {
+		return Code{}, fmt.Errorf("graphlet: bad code %q: %v", s, err)
+	}
+	return Code{Hi: hi, Lo: lo}, nil
 }
 
 // FromGraph packs a small graph (its vertices must be 0..k-1) into a Code.

@@ -228,3 +228,31 @@ func TestDegrees(t *testing.T) {
 		t.Errorf("star degrees %v", deg)
 	}
 }
+
+// TestParseCodeRoundTrip: ParseCode must invert String for every
+// enumerated graphlet (both 64-bit and 128-bit packings) and reject
+// malformed inputs.
+func TestParseCodeRoundTrip(t *testing.T) {
+	for _, k := range []int{3, 5} {
+		for _, c := range Enumerate(k) {
+			got, err := ParseCode(c.String())
+			if err != nil {
+				t.Fatalf("k=%d %v: %v", k, c, err)
+			}
+			if got != c {
+				t.Fatalf("k=%d: round trip %v -> %q -> %v", k, c, c.String(), got)
+			}
+		}
+	}
+	// Synthetic wide code exercising the Hi word.
+	wide := Code{Hi: 0xabc, Lo: 0x00000000deadbeef}
+	got, err := ParseCode(wide.String())
+	if err != nil || got != wide {
+		t.Fatalf("wide round trip: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "g", "x12", "gzz", "g12345678901234567890123456789012x", "g0123456789abcdef0123"} {
+		if c, err := ParseCode(bad); err == nil {
+			t.Errorf("ParseCode(%q) = %v, want error", bad, c)
+		}
+	}
+}

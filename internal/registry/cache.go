@@ -9,9 +9,12 @@ import (
 )
 
 // cacheKey identifies one cacheable query: the graph name plus the full
-// engine query. core.Query is a flat struct of scalars, so the pair is
-// comparable and two requests collide exactly when the engine would run
-// the identical deterministic sampling run.
+// engine query. core.Query is a flat struct of comparable scalars —
+// including the run-to-precision fields (Epsilon, Delta, TargetMotif,
+// MaxSamples) — so the pair is comparable and two requests collide exactly
+// when the engine would run the identical deterministic sampling run; two
+// queries at the same (graph, seed, samples) that differ only in ε/δ/target
+// get distinct entries.
 type cacheKey struct {
 	graph string
 	query core.Query

@@ -78,9 +78,12 @@ type Registry struct {
 	resident  int64
 	mappedRes int64
 
-	queries   atomic.Int64 // queries served (fresh + cached)
-	samples   atomic.Int64 // samples actually drawn (cache hits draw none)
-	evictions atomic.Int64 // engines dropped (budget pressure or Evict)
+	queries     atomic.Int64 // queries served (fresh + cached)
+	samples     atomic.Int64 // samples actually drawn (cache hits draw none)
+	evictions   atomic.Int64 // engines dropped (budget pressure or Evict)
+	sigQueries  atomic.Int64 // signatures queries served
+	precQueries atomic.Int64 // run-to-precision queries served
+	precMet     atomic.Int64 // ...of which certified the requested (ε, δ)
 }
 
 // graphEntry is one registered graph: the immutable source (host graph +
@@ -289,6 +292,9 @@ func (r *Registry) Count(ctx context.Context, name string, q core.Query, cacheab
 	if cacheable && r.cache != nil {
 		if cached, ok := r.cache.get(key); ok {
 			r.queries.Add(1)
+			// Like Queries, the precision counters report queries served,
+			// fresh and cached alike (a hit re-serves its certificate).
+			r.notePrecision(cached.Achieved)
 			if e := r.entry(name); e != nil {
 				e.queries.Add(1)
 			}
@@ -305,6 +311,7 @@ func (r *Registry) Count(ctx context.Context, name string, q core.Query, cacheab
 	}
 	r.queries.Add(1)
 	r.samples.Add(int64(qres.Samples))
+	r.notePrecision(qres.Achieved)
 	if e := r.entry(name); e != nil {
 		e.queries.Add(1)
 	}
@@ -312,6 +319,45 @@ func (r *Registry) Count(ctx context.Context, name string, q core.Query, cacheab
 		r.cache.put(key, qres)
 	}
 	return qres, false, nil
+}
+
+// notePrecision advances the run-to-precision counters for a completed
+// query's certificate (nil = fixed-budget query, counted nowhere).
+func (r *Registry) notePrecision(c *core.Certificate) {
+	if c == nil {
+		return
+	}
+	r.precQueries.Add(1)
+	if c.Met {
+		r.precMet.Add(1)
+	}
+}
+
+// Signatures resolves the named engine and serves one per-node signatures
+// query (core.Engine.Signatures). Signature results are not cached: their
+// bodies are per-node and typically orders of magnitude larger than count
+// responses, and the fixed stream decomposition already makes them
+// reproducible per seed on the client side.
+func (r *Registry) Signatures(ctx context.Context, name string, q core.Query, nodes []int32) (*core.SignaturesResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := r.Get(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Signatures(ctx, q, nodes)
+	if err != nil {
+		return nil, err
+	}
+	r.queries.Add(1)
+	r.sigQueries.Add(1)
+	r.samples.Add(int64(res.Samples))
+	r.notePrecision(res.Achieved)
+	if e := r.entry(name); e != nil {
+		e.queries.Add(1)
+	}
+	return res, nil
 }
 
 // Meta returns the graphlet size and packed table payload size of the
@@ -398,6 +444,13 @@ type Stats struct {
 	// actually drawn (cache hits draw none).
 	Queries int64
 	Samples int64
+	// SignatureQueries counts per-node signatures queries (also included
+	// in Queries); PrecisionQueries counts run-to-precision queries, and
+	// PrecisionMet how many of them certified the requested (ε, δ) before
+	// their sample cap.
+	SignatureQueries int64
+	PrecisionQueries int64
+	PrecisionMet     int64
 	// CacheHits/CacheMisses count seeded-result cache lookups;
 	// CacheEntries/CacheCap its current and maximum size. Unseeded queries
 	// touch none of these.
@@ -422,6 +475,9 @@ func (r *Registry) Stats() Stats {
 	r.mu.Unlock()
 	st.Queries = r.queries.Load()
 	st.Samples = r.samples.Load()
+	st.SignatureQueries = r.sigQueries.Load()
+	st.PrecisionQueries = r.precQueries.Load()
+	st.PrecisionMet = r.precMet.Load()
 	st.Evictions = r.evictions.Load()
 	if r.cache != nil {
 		st.CacheHits = r.cache.hits.Load()

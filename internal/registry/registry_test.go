@@ -336,3 +336,90 @@ func TestRegistryMappedAccounting(t *testing.T) {
 		t.Fatalf("evicted engine unusable: %v", err)
 	}
 }
+
+// TestCacheKeyCoversPrecisionFields is the regression test for the
+// seeded-result cache key: a fixed-budget query and a run-to-precision
+// query at the same (graph, seed) must not alias each other's entries, and
+// a repeated precision query must come back as a bit-identical hit.
+func TestCacheKeyCoversPrecisionFields(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{CacheSize: 8})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fixed := core.Query{Strategy: core.AGS, Samples: 3000, CoverThreshold: 200, Seed: 17}
+	precise := core.Query{
+		Strategy: core.AGS, CoverThreshold: 200, Seed: 17,
+		Epsilon: 0.5, Delta: 0.1, MaxSamples: 3000,
+	}
+	if _, hit, err := r.Count(ctx, "g", fixed, true); err != nil || hit {
+		t.Fatalf("cold fixed query: hit=%v err=%v", hit, err)
+	}
+	cold, hit, err := r.Count(ctx, "g", precise, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("precision query aliased the fixed-budget cache entry")
+	}
+	if cold.Achieved == nil {
+		t.Fatal("precision run returned no certificate")
+	}
+	warm, hit, err := r.Count(ctx, "g", precise, true)
+	if err != nil || !hit {
+		t.Fatalf("repeat precision query: hit=%v err=%v", hit, err)
+	}
+	if warm != cold {
+		t.Fatal("precision cache hit returned a different result object than the cold run")
+	}
+	// Varying only a precision field must miss again.
+	tighter := precise
+	tighter.Epsilon = 0.4
+	if _, hit, err := r.Count(ctx, "g", tighter, true); err != nil || hit {
+		t.Fatalf("distinct epsilon aliased the cache: hit=%v err=%v", hit, err)
+	}
+	st := r.Stats()
+	if st.PrecisionQueries != 3 {
+		t.Fatalf("PrecisionQueries = %d, want 3 (cache hits count as served queries)", st.PrecisionQueries)
+	}
+}
+
+// TestRegistrySignatures: the signatures path serves per-node vectors off
+// the named engine, bumps its own counters, and never caches.
+func TestRegistrySignatures(t *testing.T) {
+	g, p, _ := buildGraph(t, 50, 120, 3)
+	r := New(Config{CacheSize: 8})
+	if _, err := r.Open("g", g, p); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := core.Query{Strategy: core.AGS, Samples: 2000, CoverThreshold: 200, Seed: 9}
+	first, err := r.Signatures(ctx, "g", q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Nodes) == 0 || len(first.Motifs) == 0 {
+		t.Fatal("empty signatures result")
+	}
+	second, err := r.Signatures(ctx, "g", q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first == second {
+		t.Fatal("signatures results must not be cached/shared")
+	}
+	if !reflect.DeepEqual(first.Nodes, second.Nodes) || !reflect.DeepEqual(first.Motifs, second.Motifs) {
+		t.Fatal("repeated seeded signatures query is not reproducible")
+	}
+	st := r.Stats()
+	if st.SignatureQueries != 2 || st.Queries != 2 {
+		t.Fatalf("signature counters: %+v", st)
+	}
+	if st.Samples != 4000 {
+		t.Fatalf("samples counter = %d, want 4000", st.Samples)
+	}
+	if _, err := r.Signatures(ctx, "missing", q, nil); err == nil {
+		t.Fatal("unknown graph must fail")
+	}
+}

@@ -93,7 +93,10 @@ func TestDeterministicSingleGraphlet(t *testing.T) {
 			t.Fatalf("expected a single graphlet, got %d", len(tallies))
 		}
 		sig := estimate.NewSigma(k)
-		est := estimate.Naive(tallies, S, u.Total().Float64(), sig, col.PColorful)
+		est, err := estimate.Naive(tallies, S, u.Total().Float64(), sig, col.PColorful)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for code, c := range est {
 			if math.Abs(c-1) > 1e-9 {
 				t.Errorf("estimate for %v = %v, want exactly 1", code, c)
@@ -127,7 +130,10 @@ func TestNaiveEstimatesMatchExact(t *testing.T) {
 			code, _ := u.Sample(rng)
 			tallies[code]++
 		}
-		est := estimate.Naive(tallies, S, u.Total().Float64(), sig, u.Col.PColorful)
+		est, err := estimate.Naive(tallies, S, u.Total().Float64(), sig, u.Col.PColorful)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for c, v := range est {
 			sum[c] += v / runs
 		}

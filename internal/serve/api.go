@@ -25,6 +25,35 @@ type CountRequest struct {
 	SampleWorkers int `json:"sampleWorkers"`
 	// Top truncates the response to the N largest estimates (0 = all).
 	Top int `json:"top"`
+
+	// Epsilon and Delta switch the query into run-to-precision mode: the
+	// server samples until the estimate is certified within relative error
+	// epsilon at confidence 1-delta (Theorem 3 of the paper), instead of
+	// drawing a fixed budget. Mutually exclusive with Samples; requires the
+	// "ags" strategy (the default when a precision field is set). Delta
+	// defaults to 0.05 when only epsilon is sent.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	// TargetMotif names the single canonical graphlet code (e.g. "g3b") the
+	// certificate must cover; empty certifies every tallied motif.
+	TargetMotif string `json:"targetMotif"`
+	// MaxSamples caps a run-to-precision query's draws (0 = the engine's
+	// default cap). The response's achieved.met reports whether the target
+	// precision was reached within the cap.
+	MaxSamples int `json:"maxSamples"`
+}
+
+// AchievedInfo is the precision certificate of a run-to-precision query.
+type AchievedInfo struct {
+	// Eps is the certified relative error at confidence 1-delta; absent
+	// when nothing was certifiable (the bound was vacuous at the cap).
+	Eps *float64 `json:"eps,omitempty"`
+	// Delta is the requested confidence parameter the certificate is at.
+	Delta float64 `json:"delta"`
+	// Samples is the number of draws the run actually made.
+	Samples int `json:"samples"`
+	// Met reports whether the certified eps reached the requested epsilon.
+	Met bool `json:"met"`
 }
 
 // CountEstimate is one graphlet's estimate in a CountResponse.
@@ -47,7 +76,63 @@ type CountResponse struct {
 	Samples      int             `json:"samples"`
 	Covered      int             `json:"covered"`
 	SampleTimeMs float64         `json:"sampleTimeMs"`
+	Achieved     *AchievedInfo   `json:"achieved,omitempty"`
 	Counts       []CountEstimate `json:"counts"`
+}
+
+// SignaturesRequest is the JSON body of POST /v1/graphs/{name}/signatures.
+// The sampling fields mean exactly what they do on a count query (including
+// the run-to-precision fields); Nodes and TopNodes shape the per-node
+// output only.
+type SignaturesRequest struct {
+	Strategy       string  `json:"strategy"`
+	Samples        int     `json:"samples"`
+	Seed           int64   `json:"seed"`
+	CoverThreshold int     `json:"coverThreshold"`
+	SampleWorkers  int     `json:"sampleWorkers"`
+	Epsilon        float64 `json:"epsilon"`
+	Delta          float64 `json:"delta"`
+	TargetMotif    string  `json:"targetMotif"`
+	MaxSamples     int     `json:"maxSamples"`
+	// Nodes restricts the signatures to these vertex ids; empty means every
+	// node touched by at least one sample.
+	Nodes []int32 `json:"nodes"`
+	// TopNodes truncates the response to the N nodes with the largest
+	// incidence totals. 0 defaults to 50 when Nodes is empty (whole-graph
+	// responses would otherwise scale with the graph) and to "all" when an
+	// explicit node list was sent.
+	TopNodes int `json:"topNodes"`
+}
+
+// SignatureMotif is one tallied motif in a SignaturesResponse; every node
+// vector aligns index-for-index with the motifs list.
+type SignatureMotif struct {
+	Code        string `json:"code"`
+	Description string `json:"description"`
+}
+
+// SignatureNode is one node's graphlet degree vector.
+type SignatureNode struct {
+	Node int32 `json:"node"`
+	// Total is the number of sampled occurrences touching the node.
+	Total int64 `json:"total"`
+	// Vector is the per-motif incidence tally, aligned with motifs.
+	Vector []int64 `json:"vector"`
+}
+
+// SignaturesResponse answers POST /v1/graphs/{name}/signatures. Nodes are
+// ordered by descending total (ties by ascending id), after TopNodes
+// truncation.
+type SignaturesResponse struct {
+	Graph        string           `json:"graph"`
+	K            int              `json:"k"`
+	Strategy     string           `json:"strategy"`
+	Samples      int              `json:"samples"`
+	Covered      int              `json:"covered"`
+	SampleTimeMs float64          `json:"sampleTimeMs"`
+	Achieved     *AchievedInfo    `json:"achieved,omitempty"`
+	Motifs       []SignatureMotif `json:"motifs"`
+	Nodes        []SignatureNode  `json:"nodes"`
 }
 
 // BatchRequest is the JSON body of POST /v1/batch: a list of queries

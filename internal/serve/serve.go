@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -106,6 +107,7 @@ func New(cfg Config) *Server {
 	// mux's automatic 405 writes a plain-text body, and every v1 error —
 	// including wrong methods — must be a JSON errorResponse with a code.
 	s.mux.HandleFunc("/v1/graphs/{name}/count", s.handleV1Count)
+	s.mux.HandleFunc("/v1/graphs/{name}/signatures", s.handleV1Signatures)
 	s.mux.HandleFunc("/v1/graphs", s.handleV1Graphs)
 	s.mux.HandleFunc("/v1/batch", s.handleV1Batch)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -182,7 +184,13 @@ const maxBatchBody = 4 << 20
 // every batch entry. The request's own fields are left as sent, so the
 // caller can still see whether the seed was explicit (req.Seed != 0).
 func queryFromRequest(req *CountRequest) (core.Query, error) {
+	precision := req.Epsilon != 0 || req.Delta != 0 || req.TargetMotif != "" || req.MaxSamples != 0
 	strategy := core.Naive
+	if precision {
+		// Run-to-precision is an AGS guarantee; default the strategy rather
+		// than making every precision client spell it out.
+		strategy = core.AGS
+	}
 	if req.Strategy != "" {
 		var err error
 		if strategy, err = core.ParseStrategy(req.Strategy); err != nil {
@@ -198,8 +206,22 @@ func queryFromRequest(req *CountRequest) (core.Query, error) {
 		CoverThreshold: req.CoverThreshold,
 		Seed:           req.Seed,
 		SampleWorkers:  req.SampleWorkers,
+		Epsilon:        req.Epsilon,
+		Delta:          req.Delta,
+		MaxSamples:     req.MaxSamples,
 	}
-	if q.Samples == 0 {
+	if req.TargetMotif != "" {
+		target, err := graphlet.ParseCode(req.TargetMotif)
+		if err != nil {
+			return core.Query{}, err
+		}
+		q.TargetMotif = target
+	}
+	if precision {
+		if q.Delta == 0 {
+			q.Delta = 0.05
+		}
+	} else if q.Samples == 0 {
 		q.Samples = 100000
 	}
 	if q.Seed == 0 {
@@ -294,6 +316,7 @@ func renderCountResponse(k int, strategy core.Strategy, top int, qres *core.Quer
 		Samples:      qres.Samples,
 		Covered:      qres.Covered,
 		SampleTimeMs: float64(qres.SampleTime.Microseconds()) / 1000,
+		Achieved:     renderAchieved(qres.Achieved),
 		Counts:       make([]CountEstimate, 0, len(raw)),
 	}
 	for _, e := range raw {
@@ -305,6 +328,21 @@ func renderCountResponse(k int, strategy core.Strategy, top int, qres *core.Quer
 		})
 	}
 	return resp
+}
+
+// renderAchieved maps an engine certificate onto the wire. A +Inf achieved
+// eps (nothing certifiable) has no JSON encoding, so it renders as an
+// absent eps field rather than a sentinel number.
+func renderAchieved(c *core.Certificate) *AchievedInfo {
+	if c == nil {
+		return nil
+	}
+	info := &AchievedInfo{Delta: c.Delta, Samples: c.Samples, Met: c.Met}
+	if !math.IsInf(c.Eps, 1) {
+		eps := c.Eps
+		info.Eps = &eps
+	}
+	return info
 }
 
 // handleV1Count serves POST /v1/graphs/{name}/count.
@@ -342,6 +380,129 @@ func (s *Server) handleV1Count(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	s.writeV1JSON(w, http.StatusOK, resp)
+}
+
+// defaultTopNodes bounds a whole-graph signatures response when the client
+// didn't say how many nodes it wants: every touched node would scale the
+// body with the graph, not the query.
+const defaultTopNodes = 50
+
+// handleV1Signatures serves POST /v1/graphs/{name}/signatures: one
+// sampling run whose per-draw vertex incidence is folded into per-node
+// graphlet degree vectors. The sampling fields behave exactly like a count
+// query's; results are never cached (bodies are per-node and large, and
+// the engine's fixed stream decomposition already makes seeded runs
+// reproducible at any worker count).
+func (s *Server) handleV1Signatures(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.v1Error(w, http.StatusMethodNotAllowed, codeBadRequest, "POST a JSON query to this endpoint")
+		return
+	}
+	name := r.PathValue("name")
+	var req SignaturesRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCountBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		if !errors.Is(err, io.EOF) {
+			s.v1Error(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+	} else if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, "bad request body: trailing data after the query object")
+		return
+	}
+	if req.TopNodes < 0 {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, fmt.Sprintf("topNodes must be ≥ 0, got %d", req.TopNodes))
+		return
+	}
+	// The sampling fields translate through the same single path as every
+	// count entry point, so defaults and validation cannot drift.
+	creq := CountRequest{
+		Strategy:       req.Strategy,
+		Samples:        req.Samples,
+		Seed:           req.Seed,
+		CoverThreshold: req.CoverThreshold,
+		SampleWorkers:  req.SampleWorkers,
+		Epsilon:        req.Epsilon,
+		Delta:          req.Delta,
+		TargetMotif:    req.TargetMotif,
+		MaxSamples:     req.MaxSamples,
+	}
+	q, err := queryFromRequest(&creq)
+	if err != nil {
+		s.v1Error(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return
+	}
+	if !s.admit() {
+		s.overloaded(w)
+		return
+	}
+	defer s.release()
+	sres, err := s.reg.Signatures(r.Context(), name, q, req.Nodes)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // the client is gone; there is nobody to answer
+		}
+		var unknown *registry.UnknownGraphError
+		switch {
+		case errors.As(err, &unknown):
+			s.v1Error(w, http.StatusNotFound, codeUnknownGraph, err.Error())
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			s.v1Error(w, http.StatusServiceUnavailable, codeCanceled, err.Error())
+		default:
+			// Node-range and target-motif checks live in the engine (they
+			// need the host graph), so what surfaces here from a resident
+			// engine is a malformed query, not a server fault.
+			s.v1Error(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		}
+		return
+	}
+	k, _, err := s.reg.Meta(name)
+	if err != nil {
+		s.v1Error(w, http.StatusInternalServerError, codeInternal, err.Error())
+		return
+	}
+	s.writeV1JSON(w, http.StatusOK, renderSignaturesResponse(name, k, q.Strategy, &req, sres))
+}
+
+// renderSignaturesResponse orders nodes by descending incidence total (ties
+// by ascending id) and truncates to the requested top-m before the
+// Describe/format work runs.
+func renderSignaturesResponse(name string, k int, strategy core.Strategy, req *SignaturesRequest, sres *core.SignaturesResult) *SignaturesResponse {
+	nodes := make([]core.NodeSignature, len(sres.Nodes))
+	copy(nodes, sres.Nodes)
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Total != nodes[j].Total {
+			return nodes[i].Total > nodes[j].Total
+		}
+		return nodes[i].Node < nodes[j].Node
+	})
+	top := req.TopNodes
+	if top == 0 && len(req.Nodes) == 0 {
+		top = defaultTopNodes
+	}
+	if top > 0 && top < len(nodes) {
+		nodes = nodes[:top]
+	}
+	resp := &SignaturesResponse{
+		Graph:        name,
+		K:            k,
+		Strategy:     strategy.String(),
+		Samples:      sres.Samples,
+		Covered:      sres.Covered,
+		SampleTimeMs: float64(sres.SampleTime.Microseconds()) / 1000,
+		Achieved:     renderAchieved(sres.Achieved),
+		Motifs:       make([]SignatureMotif, 0, len(sres.Motifs)),
+		Nodes:        make([]SignatureNode, 0, len(nodes)),
+	}
+	for _, c := range sres.Motifs {
+		resp.Motifs = append(resp.Motifs, SignatureMotif{Code: c.String(), Description: graphlet.Describe(k, c)})
+	}
+	for _, n := range nodes {
+		resp.Nodes = append(resp.Nodes, SignatureNode{Node: n.Node, Total: n.Total, Vector: n.Counts})
+	}
+	return resp
 }
 
 // handleV1Graphs serves GET /v1/graphs.
@@ -471,6 +632,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	counter("motivo_queries_total", "Count queries served (fresh and cached).", st.Queries)
 	counter("motivo_samples_total", "Samples drawn across all queries (cache hits draw none).", st.Samples)
+	counter("motivo_signature_queries_total", "Per-node signature queries served.", st.SignatureQueries)
+	counter("motivo_precision_queries_total", "Run-to-precision queries served.", st.PrecisionQueries)
+	counter("motivo_precision_met_total", "Run-to-precision queries whose certificate met the requested epsilon.", st.PrecisionMet)
 	counter("motivo_result_cache_hits_total", "Seeded-result cache hits.", st.CacheHits)
 	counter("motivo_result_cache_misses_total", "Seeded-result cache misses.", st.CacheMisses)
 	gauge("motivo_result_cache_entries", "Seeded-result cache entries resident.", float64(st.CacheEntries))

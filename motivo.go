@@ -187,6 +187,30 @@ type Options struct {
 	// MapRequire). Estimates are bit-identical across modes; mapping
 	// changes only open time and memory residency.
 	MapTable MapMode
+
+	// Epsilon and Delta, when set, switch the run into run-to-precision
+	// mode: instead of a fixed budget, sampling continues until every
+	// tallied motif's estimate (or TargetMotif's alone) is certified within
+	// relative error Epsilon at confidence 1-Delta by the paper's Theorem 3
+	// bound. Requires the AGS strategy and a single coloring; mutually
+	// exclusive with Samples. The certificate comes back in
+	// Result.Achieved.
+	Epsilon float64
+	Delta   float64
+	// TargetMotif, when non-zero, is the single canonical graphlet code the
+	// precision certificate must cover (rare-motif workloads certify their
+	// motif of interest orders of magnitude sooner than the full
+	// distribution). Zero certifies every tallied motif.
+	TargetMotif Code
+	// MaxSamples caps a run-to-precision run's draws (0 = the engine's
+	// default cap). Result.Achieved.Met reports whether Epsilon was reached
+	// within the cap.
+	MaxSamples int
+}
+
+// precisionMode reports whether any run-to-precision field is set.
+func (o Options) precisionMode() bool {
+	return o.Epsilon != 0 || o.Delta != 0 || o.TargetMotif != (Code{}) || o.MaxSamples != 0
 }
 
 // Estimate is one graphlet's estimated occurrence count and relative
@@ -218,7 +242,16 @@ type Result struct {
 	// Covered is the number of AGS-covered graphlets (0 under Naive). In
 	// a multi-coloring run it reports the last coloring only, not a sum.
 	Covered int
+	// Achieved is the precision certificate of a run-to-precision run (nil
+	// for fixed-budget runs).
+	Achieved *Certificate
 }
+
+// Certificate is the precision certificate returned by a run-to-precision
+// run: the certified relative error Eps (possibly +Inf when nothing was
+// certifiable) at confidence 1-Delta after Samples draws, and whether the
+// requested epsilon was Met within the sample cap.
+type Certificate = core.Certificate
 
 // Top returns the n graphlets with the largest estimated counts (all of
 // them if n ≤ 0 or exceeds the support).
@@ -256,7 +289,7 @@ func CountContext(ctx context.Context, g *Graph, opts Options) (*Result, error) 
 	if opts.Colorings == 0 {
 		opts.Colorings = 1
 	}
-	if opts.Samples == 0 {
+	if opts.Samples == 0 && !opts.precisionMode() {
 		opts.Samples = 100000
 	}
 	if opts.Seed == 0 {
@@ -275,6 +308,7 @@ func CountContext(ctx context.Context, g *Graph, opts Options) (*Result, error) 
 		OpenTime:   res.OpenTime,
 		TableBytes: res.TableBytes,
 		Covered:    res.Covered,
+		Achieved:   res.Achieved,
 	}, nil
 }
 
@@ -297,6 +331,10 @@ func coreConfig(opts Options) core.Config {
 		MaterializeStars:   opts.MaterializeStars,
 		TablePath:          opts.TablePath,
 		MapTable:           opts.MapTable,
+		Epsilon:            opts.Epsilon,
+		Delta:              opts.Delta,
+		TargetMotif:        opts.TargetMotif,
+		MaxSamples:         opts.MaxSamples,
 	}
 }
 
@@ -396,12 +434,31 @@ type Query struct {
 	// SampleWorkers parallelizes this query across urn clones (≤ 1 =
 	// sequential).
 	SampleWorkers int
+	// Epsilon and Delta switch the query into run-to-precision mode:
+	// sampling continues until the estimates (or TargetMotif's alone) are
+	// certified within relative error Epsilon at confidence 1-Delta.
+	// Requires the AGS strategy; mutually exclusive with Samples. The
+	// certificate comes back in Result.Achieved.
+	Epsilon float64
+	Delta   float64
+	// TargetMotif, when non-zero, is the single canonical code the
+	// certificate must cover; zero certifies every tallied motif.
+	TargetMotif Code
+	// MaxSamples caps a run-to-precision query's draws (0 = the engine's
+	// default cap).
+	MaxSamples int
+}
+
+// precisionMode reports whether any run-to-precision field is set.
+func (q Query) precisionMode() bool {
+	return q.Epsilon != 0 || q.Delta != 0 || q.TargetMotif != (Code{}) || q.MaxSamples != 0
 }
 
 // withDefaults completes the zero fields exactly as Engine.Count serves
-// them, so Validate judges the query the engine would actually run.
+// them, so Validate judges the query the engine would actually run. A
+// precision-mode query keeps Samples at zero — the budget is adaptive.
 func (q Query) withDefaults() Query {
-	if q.Samples == 0 {
+	if q.Samples == 0 && !q.precisionMode() {
 		q.Samples = 100000
 	}
 	if q.Seed == 0 {
@@ -420,6 +477,10 @@ func (q Query) coreQuery() core.Query {
 		CoverThreshold: q.CoverThreshold,
 		Seed:           q.Seed,
 		SampleWorkers:  q.SampleWorkers,
+		Epsilon:        q.Epsilon,
+		Delta:          q.Delta,
+		TargetMotif:    q.TargetMotif,
+		MaxSamples:     q.MaxSamples,
 	}
 }
 
@@ -445,7 +506,57 @@ func (e *Engine) Count(ctx context.Context, q Query) (*Result, error) {
 		SampleTime: qres.SampleTime,
 		TableBytes: e.eng.TableBytes(),
 		Covered:    qres.Covered,
+		Achieved:   qres.Achieved,
 	}, nil
+}
+
+// NodeSignature is one node's graphlet degree vector (GDV): per-motif
+// counts of the sampled occurrences touching the node, aligned with
+// SignaturesResult.Motifs.
+type NodeSignature = core.NodeSignature
+
+// SignaturesResult is the outcome of a per-node signatures query: the
+// sorted motif list, the per-node vectors, and the run's raw tallies.
+// Summing the vectors of all nodes (a nil node filter) recovers exactly
+// K × tally for every motif.
+type SignaturesResult = core.SignaturesResult
+
+// Signatures serves one per-node graphlet signature query from the
+// engine's table: it samples exactly like Count (same strategies, budgets
+// and precision mode) but streams every draw's vertex incidence into
+// per-node motif-count vectors. nodes, when non-empty, restricts the
+// vectors to those vertices; empty returns every node touched by at least
+// one sample.
+//
+// Unlike Count — whose draw sequence follows SampleWorkers — a signatures
+// query decomposes into a fixed number of deterministic streams, so for a
+// fixed Seed the vectors are bit-identical at any SampleWorkers count.
+func (e *Engine) Signatures(ctx context.Context, q Query, nodes []int32) (*SignaturesResult, error) {
+	return e.eng.Signatures(ctx, q.withDefaults().coreQuery(), nodes)
+}
+
+// Signatures is the one-shot form of Engine.Signatures, mirroring Count:
+// build (or open) the table for opts, then serve one signatures query.
+// Requires a single coloring (incidence tallies are per-coloring).
+func Signatures(g *Graph, opts Options, nodes []int32) (*SignaturesResult, error) {
+	return SignaturesContext(context.Background(), g, opts, nodes)
+}
+
+// SignaturesContext is Signatures honoring a context.
+func SignaturesContext(ctx context.Context, g *Graph, opts Options, nodes []int32) (*SignaturesResult, error) {
+	if opts.K == 0 {
+		opts.K = 4
+	}
+	if opts.Colorings == 0 {
+		opts.Colorings = 1
+	}
+	if opts.Samples == 0 && !opts.precisionMode() {
+		opts.Samples = 100000
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return core.SignaturesContext(ctx, g, coreConfig(opts), nodes)
 }
 
 // EngineStats describes an engine in one struct: graphlet size, host graph
@@ -561,7 +672,15 @@ func (r *Registry) Count(ctx context.Context, name string, q Query) (res *Result
 		SampleTime: qres.SampleTime,
 		TableBytes: tableBytes,
 		Covered:    qres.Covered,
+		Achieved:   qres.Achieved,
 	}, hit, nil
+}
+
+// Signatures resolves the named engine and serves one per-node signatures
+// query. Results are never cached: bodies are per-node and large, and the
+// fixed stream decomposition already makes seeded runs reproducible.
+func (r *Registry) Signatures(ctx context.Context, name string, q Query, nodes []int32) (*SignaturesResult, error) {
+	return r.reg.Signatures(ctx, name, q.withDefaults().coreQuery(), nodes)
 }
 
 // Evict drops the named engine's resident state (the registration stays,
@@ -623,6 +742,10 @@ func NumGraphlets(k int) int64 { return graphlet.NumGraphlets(k) }
 // special names for well-known shapes, otherwise edge count and degree
 // sequence.
 func Describe(k int, c Code) string { return graphlet.Describe(k, c) }
+
+// ParseCode parses the Code.String form ("g" + hex digits) back into a
+// Code — how a motif is named on the CLI (-target) and over the wire.
+func ParseCode(s string) (Code, error) { return graphlet.ParseCode(s) }
 
 // L1Error returns the ℓ1 distance between the frequency vectors of an
 // estimate and a ground truth.
